@@ -1,0 +1,150 @@
+// Command mpftrace runs a small MPF workload with per-primitive event
+// tracing, printing one line per open_send / open_receive /
+// message_send / message_receive / check_receive / close — the
+// observability companion to cmd/mpfbench.
+//
+// Usage:
+//
+//	mpftrace [-workers 3] [-msgs 4] [-summary]
+//
+// The workload is a miniature of the paper's Figure 1: one sender, one
+// FCFS worker pool and one broadcast listener sharing a circuit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/mpf"
+)
+
+func main() {
+	workers := flag.Int("workers", 3, "FCFS pool size")
+	msgs := flag.Int("msgs", 4, "messages to send")
+	summary := flag.Bool("summary", false, "print per-primitive totals instead of the event stream")
+	flag.Parse()
+	if *workers < 1 || *msgs < 1 {
+		log.Fatal("mpftrace: -workers and -msgs must be positive")
+	}
+
+	collector := trace.NewCollector(0)
+	var tracer core.Tracer = collector
+	if !*summary {
+		tracer = trace.Multi(collector, trace.NewWriter(os.Stdout))
+	}
+
+	fac, err := mpf.New(
+		mpf.WithMaxProcesses(*workers+2),
+		mpf.WithTracer(tracer),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fac.Shutdown()
+
+	nProcs := *workers + 2
+	err = fac.Run(nProcs, func(p *mpf.Process) error {
+		switch {
+		case p.PID() == 0: // sender
+			ready, err := p.OpenReceive("ready", mpf.FCFS)
+			if err != nil {
+				return err
+			}
+			defer ready.Close()
+			buf := make([]byte, 1)
+			for i := 0; i < nProcs-1; i++ {
+				if _, err := ready.Receive(buf); err != nil {
+					return err
+				}
+			}
+			s, err := p.OpenSend("floor")
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			for i := 0; i < *msgs; i++ {
+				if err := s.Send([]byte(fmt.Sprintf("item-%d", i))); err != nil {
+					return err
+				}
+			}
+			for w := 0; w < *workers; w++ {
+				if err := s.Send([]byte{0xFF}); err != nil {
+					return err
+				}
+			}
+			return nil
+
+		case p.PID() <= *workers: // FCFS pool
+			r, err := p.OpenReceive("floor", mpf.FCFS)
+			if err != nil {
+				return err
+			}
+			defer r.Close()
+			ready, err := p.OpenSend("ready")
+			if err != nil {
+				return err
+			}
+			defer ready.Close()
+			if err := ready.Send([]byte{1}); err != nil {
+				return err
+			}
+			buf := make([]byte, 32)
+			for {
+				n, err := r.Receive(buf)
+				if err != nil {
+					return err
+				}
+				if n == 1 && buf[0] == 0xFF {
+					return nil
+				}
+			}
+
+		default: // broadcast listener
+			r, err := p.OpenReceive("floor", mpf.Broadcast)
+			if err != nil {
+				return err
+			}
+			defer r.Close()
+			ready, err := p.OpenSend("ready")
+			if err != nil {
+				return err
+			}
+			defer ready.Close()
+			if err := ready.Send([]byte{1}); err != nil {
+				return err
+			}
+			buf := make([]byte, 32)
+			for i := 0; i < *msgs+*workers; i++ {
+				if _, err := r.Receive(buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Printf("traced %d events\n", collector.Len())
+	byOp := collector.CountByOp()
+	bytesBy := collector.BytesByOp()
+	for op := core.OpOpenSend; op <= core.OpTryReceive; op++ {
+		if byOp[op] == 0 {
+			continue
+		}
+		if b := bytesBy[op]; b > 0 {
+			fmt.Printf("  %-16s %5d calls  %6d bytes\n", op, byOp[op], b)
+		} else {
+			fmt.Printf("  %-16s %5d calls\n", op, byOp[op])
+		}
+	}
+	if errs := collector.Errors(); len(errs) > 0 {
+		fmt.Printf("  %d errored calls\n", len(errs))
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces McGuire, Malony and Reed, "MPF: A Portable
+// Message Passing Facility for Shared Memory Multiprocessors" (ICPP
+// 1987).
+//
+// The public API lives in repro/mpf. The substrates (shared-memory
+// arena, spin locks, message blocks, process model, discrete-event
+// Balance 21000 simulator) live under internal/, the paper's two
+// applications under internal/apps, and the benchmark harness that
+// regenerates every figure of the paper's evaluation under
+// internal/bench and cmd/mpfbench. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package repro

@@ -1,0 +1,208 @@
+// Conversation: LNVCs as conversations — the model behind MPF's design.
+//
+// The paper grounds LNVC semantics in conversation-based electronic
+// mail: participants enter and leave a discussion at will, and the
+// conversation outlives any particular participant. This example runs a
+// small newsroom:
+//
+//   - reporters join the "newswire" circuit as senders, file a few
+//     stories, and leave;
+//
+//   - subscribers join as BROADCAST receivers (each sees every story
+//     filed while subscribed);
+//
+//   - one archivist joins as an FCFS receiver pool member together with
+//     a second archivist — each story lands in exactly one archive
+//     shard, demonstrating FCFS and BROADCAST receivers coexisting on
+//     one circuit.
+//
+//     go run ./examples/conversation
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/mpf"
+)
+
+const (
+	reporters   = 3
+	storiesEach = 4
+	subscribers = 2
+	archivists  = 2
+)
+
+func main() {
+	total := reporters + subscribers + archivists
+	fac, err := mpf.New(mpf.WithMaxProcesses(total))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fac.Shutdown()
+
+	var mu sync.Mutex
+	subscriberLogs := make(map[int][]string)
+	archiveShards := make(map[int][]string)
+
+	err = fac.Run(total, func(p *mpf.Process) error {
+		switch {
+		case p.PID() < reporters:
+			return reporter(p)
+		case p.PID() < reporters+subscribers:
+			return subscriber(p, &mu, subscriberLogs)
+		default:
+			return archivist(p, &mu, archiveShards)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== subscriber feeds (each sees every story, in order) ==")
+	for _, pid := range sortedKeys(subscriberLogs) {
+		fmt.Printf("subscriber %d: %d stories\n", pid, len(subscriberLogs[pid]))
+	}
+	fmt.Println("\n== archive shards (each story in exactly one) ==")
+	archived := 0
+	for _, pid := range sortedKeys(archiveShards) {
+		fmt.Printf("archivist %d: %d stories\n", pid, len(archiveShards[pid]))
+		archived += len(archiveShards[pid])
+	}
+	fmt.Printf("\n%d stories filed, %d archived\n", reporters*storiesEach, archived)
+}
+
+// reporter files stories on the newswire, then hangs up. A ready-check
+// circuit ensures subscribers and archivists are connected before the
+// first story, so no story is filed into an empty room.
+func reporter(p *mpf.Process) error {
+	ready, err := p.OpenReceive(fmt.Sprintf("ready-%d", p.PID()), mpf.FCFS)
+	if err != nil {
+		return err
+	}
+	defer ready.Close()
+	buf := make([]byte, 1)
+	for i := 0; i < subscribers+archivists; i++ {
+		if _, err := ready.Receive(buf); err != nil {
+			return err
+		}
+	}
+	wire, err := p.OpenSend("newswire")
+	if err != nil {
+		return err
+	}
+	defer wire.Close()
+	for s := 0; s < storiesEach; s++ {
+		story := fmt.Sprintf("story %d from reporter %d", s, p.PID())
+		if err := wire.Send([]byte(story)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// announceReady tells every reporter this consumer is connected. The
+// returned closer must run only when the consumer is done: closing the
+// send connection immediately could delete the ready circuit — and drop
+// the unread announcement — if the reporter has not opened its receive
+// side yet (the paper's lost-message scenario, §3.2).
+func announceReady(p *mpf.Process) (func(), error) {
+	conns := make([]*mpf.SendConn, 0, reporters)
+	closer := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	for r := 0; r < reporters; r++ {
+		c, err := p.OpenSend(fmt.Sprintf("ready-%d", r))
+		if err != nil {
+			closer()
+			return nil, err
+		}
+		conns = append(conns, c)
+		if err := c.Send([]byte{1}); err != nil {
+			closer()
+			return nil, err
+		}
+	}
+	return closer, nil
+}
+
+func subscriber(p *mpf.Process, mu *sync.Mutex, logs map[int][]string) error {
+	feed, err := p.OpenReceive("newswire", mpf.Broadcast)
+	if err != nil {
+		return err
+	}
+	defer feed.Close()
+	done, err := announceReady(p)
+	if err != nil {
+		return err
+	}
+	defer done()
+	buf := make([]byte, 256)
+	for i := 0; i < reporters*storiesEach; i++ {
+		n, err := feed.Receive(buf)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		logs[p.PID()] = append(logs[p.PID()], string(buf[:n]))
+		mu.Unlock()
+	}
+	return nil
+}
+
+func archivist(p *mpf.Process, mu *sync.Mutex, shards map[int][]string) error {
+	pool, err := p.OpenReceive("newswire", mpf.FCFS)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	done, err := announceReady(p)
+	if err != nil {
+		return err
+	}
+	defer done()
+	buf := make([]byte, 256)
+	for {
+		ok, err := pool.Check()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// The pool drains cooperatively; stop once every story has
+			// been archived by someone.
+			mu.Lock()
+			n := 0
+			for _, s := range shards {
+				n += len(s)
+			}
+			mu.Unlock()
+			if n >= reporters*storiesEach {
+				return nil
+			}
+			runtime.Gosched()
+			continue
+		}
+		n, err := pool.Receive(buf)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		shards[p.PID()] = append(shards[p.PID()], string(buf[:n]))
+		mu.Unlock()
+	}
+}
+
+// sortedKeys returns the map's pids in ascending order for stable output.
+func sortedKeys(m map[int][]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

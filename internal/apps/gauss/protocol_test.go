@@ -1,0 +1,82 @@
+package gauss
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/mpf"
+)
+
+// TestMessageCountMatchesProtocol pins the communication volume of the
+// MPF solver to the paper's protocol structure: per iteration each of W
+// workers sends one pivot candidate (W·n total), the arbiter announces
+// one winner (n), the winner broadcasts one pivot row (n), and at the
+// end each pivot row yields one solution pair (n). Any change that adds
+// or drops traffic — double sends, retries, lost rendezvous — breaks
+// this count.
+func TestMessageCountMatchesProtocol(t *testing.T) {
+	for _, cfg := range []struct{ n, workers int }{
+		{8, 1}, {16, 2}, {16, 4}, {33, 5},
+	} {
+		fac, err := mpf.New(
+			mpf.WithMaxProcesses(cfg.workers+1),
+			mpf.WithBlocksPerProcess(2048),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(cfg.n)))
+		a, b := NewSystem(cfg.n, rng)
+		if _, err := SolveMPF(fac, cfg.workers, a, b); err != nil {
+			t.Fatal(err)
+		}
+		st := fac.Stats()
+		wantSends := uint64(cfg.n*cfg.workers + 3*cfg.n)
+		if st.Sends != wantSends {
+			t.Errorf("n=%d W=%d: %d sends, want %d", cfg.n, cfg.workers, st.Sends, wantSends)
+		}
+		// Receives: arbiter consumes W·n candidates and n pairs; every
+		// worker consumes n winner announcements and n pivot rows.
+		wantRecvs := uint64(cfg.n*cfg.workers + cfg.n + 2*cfg.n*cfg.workers)
+		if st.Receives != wantRecvs {
+			t.Errorf("n=%d W=%d: %d receives, want %d", cfg.n, cfg.workers, st.Receives, wantRecvs)
+		}
+		// Conservation: everything sent was consumed (broadcast messages
+		// count once per consuming receiver).
+		if st.MessagesDropped != 0 {
+			t.Errorf("n=%d W=%d: %d messages dropped", cfg.n, cfg.workers, st.MessagesDropped)
+		}
+		fac.Shutdown()
+	}
+}
+
+// TestCommunicationScalesWithWorkers confirms the paper's Figure 7
+// analysis mechanically: candidate traffic grows linearly with workers
+// while row-broadcast bytes stay fixed, so communication per unit of
+// computation rises as the partition shrinks.
+func TestCommunicationScalesWithWorkers(t *testing.T) {
+	const n = 32
+	bytesFor := func(workers int) uint64 {
+		fac, err := mpf.New(mpf.WithMaxProcesses(workers+1), mpf.WithBlocksPerProcess(2048))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fac.Shutdown()
+		rng := rand.New(rand.NewSource(7))
+		a, b := NewSystem(n, rng)
+		if _, err := SolveMPF(fac, workers, a, b); err != nil {
+			t.Fatal(err)
+		}
+		return fac.Stats().BytesSent
+	}
+	b2, b8 := bytesFor(2), bytesFor(8)
+	if b8 <= b2 {
+		t.Fatalf("bytes sent with 8 workers (%d) not above 2 workers (%d)", b8, b2)
+	}
+	// The growth is the candidate traffic: 6 extra candidates per
+	// iteration at PivotCandSize bytes each.
+	wantDelta := uint64(6 * n * 16)
+	if got := b8 - b2; got != wantDelta {
+		t.Fatalf("traffic delta = %d bytes, want %d (candidates only)", got, wantDelta)
+	}
+}

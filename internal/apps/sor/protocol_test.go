@@ -1,0 +1,81 @@
+package sor
+
+import (
+	"testing"
+
+	"repro/mpf"
+)
+
+// TestMessageCountMatchesProtocol pins the SOR solver's traffic to the
+// paper's structure: per iteration every directed neighbour edge
+// carries one halo message (4·n·(n−1) edges on an n×n mesh), every
+// worker sends one status message (n²) and the monitor one verdict (1);
+// at the end each worker ships one result block (n²).
+func TestMessageCountMatchesProtocol(t *testing.T) {
+	for _, cfg := range []struct{ p, n int }{
+		{9, 2}, {9, 3}, {17, 2},
+	} {
+		workers := cfg.n * cfg.n
+		fac, err := mpf.New(
+			mpf.WithMaxProcesses(workers+1),
+			mpf.WithMaxLNVCs(256),
+			mpf.WithBlocksPerProcess(4096),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := DefaultProblem(cfg.p)
+		_, iters, err := SolveMPF(fac, cfg.n, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := fac.Stats()
+		edges := uint64(4 * cfg.n * (cfg.n - 1))
+		perIter := edges + uint64(workers) + 1
+		wantSends := uint64(iters)*perIter + uint64(workers)
+		if st.Sends != wantSends {
+			t.Errorf("p=%d n=%d iters=%d: %d sends, want %d",
+				cfg.p, cfg.n, iters, st.Sends, wantSends)
+		}
+		// Receives: halos are FCFS (consumed once); ctl is broadcast to
+		// all workers; status and results are FCFS at the monitor.
+		wantRecvs := uint64(iters)*(edges+uint64(workers)+uint64(workers)) + uint64(workers)
+		if st.Receives != wantRecvs {
+			t.Errorf("p=%d n=%d iters=%d: %d receives, want %d",
+				cfg.p, cfg.n, iters, st.Receives, wantRecvs)
+		}
+		if st.MessagesDropped != 0 {
+			t.Errorf("p=%d n=%d: %d messages dropped", cfg.p, cfg.n, st.MessagesDropped)
+		}
+		fac.Shutdown()
+	}
+}
+
+// TestPerimeterVsAreaTraffic verifies the computation/communication knob
+// the paper turns in Figure 8: per iteration, halo bytes grow with the
+// mesh dimension while the grid stays fixed.
+func TestPerimeterVsAreaTraffic(t *testing.T) {
+	const p = 33
+	bytesPerIter := func(n int) float64 {
+		workers := n * n
+		fac, err := mpf.New(
+			mpf.WithMaxProcesses(workers+1),
+			mpf.WithMaxLNVCs(256),
+			mpf.WithBlocksPerProcess(4096),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fac.Shutdown()
+		pr := DefaultProblem(p)
+		_, iters, err := SolveMPF(fac, n, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(fac.Stats().BytesSent) / float64(iters)
+	}
+	b2, b4 := bytesPerIter(2), bytesPerIter(4)
+	if b4 <= b2 {
+		t.Fatalf("halo traffic per iteration: n=4 (%.0f B) not above n=2 (%.0f B)", b4, b2)
+	}
+}

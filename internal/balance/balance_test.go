@@ -1,0 +1,171 @@
+package balance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBalance21000Hardware(t *testing.T) {
+	m := Balance21000()
+	if m.NumCPUs != 20 {
+		t.Fatalf("NumCPUs = %d, want 20 (paper §4)", m.NumCPUs)
+	}
+	if m.CPUHz != 10e6 {
+		t.Fatalf("CPUHz = %g, want 10 MHz", m.CPUHz)
+	}
+	if m.MemBytes != 16<<20 {
+		t.Fatalf("MemBytes = %g, want 16 MB", m.MemBytes)
+	}
+	if m.BusRate != 80e6 {
+		t.Fatalf("BusRate = %g, want 80 MB/s", m.BusRate)
+	}
+	if m.BlockPayload != 10 {
+		t.Fatalf("BlockPayload = %d, want the paper's 10-byte blocks", m.BlockPayload)
+	}
+}
+
+func TestBlocksFor(t *testing.T) {
+	m := Balance21000()
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {10, 1}, {11, 2}, {1024, 103},
+	}
+	for _, c := range cases {
+		if got := m.BlocksFor(c.n); got != c.want {
+			t.Errorf("BlocksFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCalibrationBaseAsymptote(t *testing.T) {
+	// The base benchmark's asymptotic throughput is 1/(2 × per-byte
+	// cost); calibration targets ≈25,000 bytes/s (Figure 3).
+	m := Balance21000()
+	perByte := m.CopyPerByte + m.BlockHandling/float64(m.BlockPayload)
+	asymptote := 1 / (2 * perByte)
+	if asymptote < 20000 || asymptote > 30000 {
+		t.Fatalf("base asymptote = %.0f bytes/s, want ≈25,000", asymptote)
+	}
+}
+
+func TestCalibrationFCFSPlateau(t *testing.T) {
+	// One sender's 1024-byte message rate bounds fcfs throughput;
+	// calibration targets ≈45-50 Kbyte/s (Figure 4).
+	m := Balance21000()
+	rate := 1024 / m.SendTime(1024)
+	if rate < 40000 || rate > 55000 {
+		t.Fatalf("fcfs plateau = %.0f bytes/s, want ≈45-50 K", rate)
+	}
+}
+
+func TestCalibrationBroadcastPeak(t *testing.T) {
+	// 16 receivers copying concurrently at the sender's rate bound the
+	// broadcast peak; the paper measured 687,245 bytes/s.
+	m := Balance21000()
+	peak := 16 * 1024 / m.SendTime(1024)
+	if peak < 600000 || peak > 800000 {
+		t.Fatalf("broadcast ceiling = %.0f bytes/s, want ≈687,245", peak)
+	}
+}
+
+func TestPagingKneeMatchesFigure6(t *testing.T) {
+	// With the random benchmark's region sizing (600 messages per
+	// process), the 1024-byte curve must oversubscribe beyond ≈10
+	// processes, the 256-byte curve near ≈18-20, and the 64-byte curve
+	// never (within 20 processes).
+	m := Balance21000()
+	region := func(nProcs, msgLen int) float64 {
+		return float64(nProcs) * 600 * float64(msgLen)
+	}
+	if f := m.PagingFactor(m.Footprint(9, region(9, 1024))); f != 1 {
+		t.Errorf("1024B at 9 procs already paging (factor %g)", f)
+	}
+	if f := m.PagingFactor(m.Footprint(12, region(12, 1024))); f <= 1 {
+		t.Errorf("1024B at 12 procs not paging")
+	}
+	if f := m.PagingFactor(m.Footprint(16, region(16, 256))); f != 1 {
+		t.Errorf("256B at 16 procs already paging (factor %g)", f)
+	}
+	if f := m.PagingFactor(m.Footprint(20, region(20, 256))); f <= 1 {
+		t.Errorf("256B at 20 procs not paging")
+	}
+	if f := m.PagingFactor(m.Footprint(20, region(20, 64))); f != 1 {
+		t.Errorf("64B at 20 procs paging (factor %g)", f)
+	}
+}
+
+func TestPagingFactorMonotone(t *testing.T) {
+	m := Balance21000()
+	prev := 0.0
+	for fp := 0.0; fp < 64<<20; fp += 1 << 20 {
+		f := m.PagingFactor(fp)
+		if f < 1 {
+			t.Fatalf("factor %g < 1 at footprint %g", f, fp)
+		}
+		if f < prev {
+			t.Fatalf("factor decreased: %g after %g", f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestCopyTimeShape(t *testing.T) {
+	m := Balance21000()
+	// Strictly increasing in n and superlinear-free: doubling bytes at
+	// block granularity roughly doubles cost.
+	t1, t2 := m.CopyTime(1000), m.CopyTime(2000)
+	if ratio := t2 / t1; math.Abs(ratio-2) > 0.05 {
+		t.Fatalf("copy cost ratio = %g, want ≈2", ratio)
+	}
+	if m.CopyTime(0) <= 0 {
+		t.Fatal("zero-byte copy must still cost one block handling")
+	}
+}
+
+func TestSendReceiveSymmetric(t *testing.T) {
+	m := Balance21000()
+	if m.SendTime(512) != m.ReceiveTime(512) {
+		t.Fatal("send and receive copy costs should be symmetric in this model")
+	}
+}
+
+func TestFlopsTime(t *testing.T) {
+	m := Balance21000()
+	if got := m.FlopsTime(1000); math.Abs(got-1000*m.FlopTime) > 1e-12 {
+		t.Fatalf("FlopsTime = %g", got)
+	}
+}
+
+// Property: CopyTime is monotone non-decreasing in n.
+func TestQuickCopyTimeMonotone(t *testing.T) {
+	m := Balance21000()
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := int(aRaw), int(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		return m.CopyTime(a) <= m.CopyTime(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Footprint is additive and monotone in both arguments.
+func TestQuickFootprintMonotone(t *testing.T) {
+	m := Balance21000()
+	f := func(n1, n2 uint8, r1, r2 uint32) bool {
+		a, b := int(n1), int(n2)
+		ra, rb := float64(r1), float64(r2)
+		if a > b {
+			a, b = b, a
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		return m.Footprint(a, ra) <= m.Footprint(b, rb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/balance"
+)
+
+// The simulated substrate is the reproduction's evidence; it must be
+// bit-for-bit repeatable so EXPERIMENTS.md numbers can be re-derived by
+// anyone.
+
+func TestSimulatedFiguresDeterministic(t *testing.T) {
+	render := func() string {
+		fig, err := Fig4(Config{Mode: Simulated, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.Render()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("Fig4 not reproducible:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestSimRandomDeterministic(t *testing.T) {
+	m := balance.Balance21000()
+	a, err := SimRandom(m, 256, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimRandom(m, 256, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("SimRandom not reproducible: %v vs %v", a, b)
+	}
+}
+
+// Pin the headline numbers EXPERIMENTS.md quotes, with slack for
+// intentional recalibration (fail = the docs need regenerating).
+func TestHeadlineNumbersMatchExperimentsDoc(t *testing.T) {
+	m := balance.Balance21000()
+	base, err := SimBase(m, 2048, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base < 23000 || base > 25500 {
+		t.Errorf("Fig3 asymptote drifted to %.0f; EXPERIMENTS.md says 24,234", base)
+	}
+	bcast, err := SimBroadcast(m, 1024, 16, 48*16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bcast < 700000 || bcast > 800000 {
+		t.Errorf("Fig5 peak drifted to %.0f; EXPERIMENTS.md says 748,773", bcast)
+	}
+}

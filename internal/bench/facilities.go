@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"math/rand"
+
+	"repro/mpf"
+)
+
+// mpfFacility wraps a facility so figure code reads uniformly.
+type mpfFacility struct{ f *mpf.Facility }
+
+func newGaussFacility(workers int) (*mpfFacility, error) {
+	f, err := mpf.New(
+		mpf.WithMaxProcesses(workers+1),
+		mpf.WithMaxLNVCs(16),
+		mpf.WithBlocksPerProcess(2048),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &mpfFacility{f: f}, nil
+}
+
+func newSORFacility(procs int) (*mpfFacility, error) {
+	f, err := mpf.New(
+		mpf.WithMaxProcesses(procs),
+		mpf.WithMaxLNVCs(256),
+		mpf.WithBlocksPerProcess(4096),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &mpfFacility{f: f}, nil
+}
+
+// newDeterministicRand gives figure code reproducible inputs.
+func newDeterministicRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,271 @@
+// Package bench implements the paper's four synthetic benchmarks —
+// base, fcfs, broadcast and random (paper §4) — and assembles every
+// figure of the evaluation section.
+//
+// Each benchmark exists twice:
+//
+//   - the *native* runners execute the real MPF implementation
+//     (repro/mpf on goroutines) and report real wall-clock throughput;
+//   - the *simulated* runners replay the identical protocol on the
+//     Balance 21000 model (internal/simmpf) and report throughput at the
+//     paper's absolute scale.
+//
+// Figure shapes are expected to agree between the two; absolute values
+// agree only for the simulated runners (a modern machine is some four
+// orders of magnitude faster than a 10 MHz NS32032).
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proc"
+	"repro/mpf"
+)
+
+// NativeBase runs the paper's base benchmark natively: one process with
+// a loop-back connection alternates sending and receiving fixed-length
+// messages. It returns bytes/second.
+func NativeBase(msgLen, rounds int) (float64, error) {
+	if msgLen < 0 || rounds < 1 {
+		return 0, fmt.Errorf("bench: base(msgLen=%d, rounds=%d)", msgLen, rounds)
+	}
+	fac, err := mpf.New(mpf.WithMaxProcesses(1), mpf.WithMaxLNVCs(2),
+		mpf.WithBlocksPerProcess(blocksFor(msgLen, 8)))
+	if err != nil {
+		return 0, err
+	}
+	defer fac.Shutdown()
+	p, err := fac.Process(0)
+	if err != nil {
+		return 0, err
+	}
+	s, err := p.OpenSend("base")
+	if err != nil {
+		return 0, err
+	}
+	r, err := p.OpenReceive("base", mpf.FCFS)
+	if err != nil {
+		return 0, err
+	}
+	payload := make([]byte, msgLen)
+	buf := make([]byte, msgLen)
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := s.Send(payload); err != nil {
+			return 0, err
+		}
+		if _, err := r.Receive(buf); err != nil {
+			return 0, err
+		}
+	}
+	return rate(msgLen*rounds, time.Since(start)), nil
+}
+
+// NativeFCFS runs the fcfs benchmark: one sender, nRecv FCFS receivers,
+// msgs fixed-length messages. Throughput counts transmitted bytes (each
+// message is consumed once).
+func NativeFCFS(msgLen, nRecv, msgs int) (float64, error) {
+	return nativeFanout(msgLen, nRecv, msgs, mpf.FCFS)
+}
+
+// NativeBroadcast runs the broadcast benchmark: one sender, nRecv
+// BROADCAST receivers. Throughput counts *delivered* bytes — every
+// receiver obtains a copy of each message, the paper's "effective
+// throughput".
+func NativeBroadcast(msgLen, nRecv, msgs int) (float64, error) {
+	return nativeFanout(msgLen, nRecv, msgs, mpf.Broadcast)
+}
+
+func nativeFanout(msgLen, nRecv, msgs int, proto mpf.Protocol) (float64, error) {
+	if msgLen < 1 || nRecv < 1 || msgs < 1 {
+		return 0, fmt.Errorf("bench: fanout(msgLen=%d, nRecv=%d, msgs=%d)", msgLen, nRecv, msgs)
+	}
+	fac, err := mpf.New(mpf.WithMaxProcesses(nRecv+1), mpf.WithMaxLNVCs(4),
+		mpf.WithBlocksPerProcess(blocksFor(msgLen, 64)))
+	if err != nil {
+		return 0, err
+	}
+	defer fac.Shutdown()
+
+	// Poison message: length 1 (real payloads have msgLen >= 1 but a
+	// distinct length of exactly 1 byte with value 0xFF, while payloads
+	// are zero-filled, keeps the protocols distinguishable even at
+	// msgLen == 1).
+	poison := []byte{0xFF}
+	payload := make([]byte, msgLen)
+	var delivered atomic.Int64
+	// All connections must exist before the sender finishes: the paper's
+	// lifetime rule deletes the circuit — discarding unread messages —
+	// at the last close, so a sender that opens, sends and closes before
+	// any receiver joins loses the whole run (paper §3.2's lost-message
+	// scenario, which this barrier prevents).
+	bar, err := proc.NewBarrier(nRecv + 1)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	err = fac.Run(nRecv+1, func(p *mpf.Process) error {
+		if p.PID() == 0 { // sender
+			s, err := p.OpenSend("fan")
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			bar.Wait()
+			for i := 0; i < msgs; i++ {
+				if err := s.Send(payload); err != nil {
+					return err
+				}
+			}
+			nPoison := nRecv
+			if proto == mpf.Broadcast {
+				nPoison = 1 // every broadcast receiver sees it
+			}
+			for i := 0; i < nPoison; i++ {
+				if err := s.Send(poison); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		r, err := p.OpenReceive("fan", proto)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		bar.Wait()
+		buf := make([]byte, msgLen)
+		for {
+			n, err := r.Receive(buf)
+			if err != nil {
+				return err
+			}
+			if n == 1 && buf[0] == 0xFF {
+				return nil
+			}
+			delivered.Add(int64(n))
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rate(int(delivered.Load()), time.Since(start)), nil
+}
+
+// NativeRandom runs the random benchmark: nProcs processes, fully
+// connected by one FCFS circuit per destination; each sends msgsPerProc
+// fixed-length messages to uniformly random destinations, draining its
+// own inbox after every send (paper §4). Throughput counts received
+// bytes over the full run including the final drain.
+func NativeRandom(msgLen, nProcs, msgsPerProc int, seed int64) (float64, error) {
+	if msgLen < 1 || nProcs < 2 || msgsPerProc < 1 {
+		return 0, fmt.Errorf("bench: random(msgLen=%d, nProcs=%d, msgs=%d)", msgLen, nProcs, msgsPerProc)
+	}
+	fac, err := mpf.New(
+		mpf.WithMaxProcesses(nProcs),
+		mpf.WithMaxLNVCs(nProcs+2),
+		mpf.WithBlocksPerProcess(blocksFor(msgLen, 96)),
+		mpf.WithFailFastSend(), // drain-and-retry instead of blocking: no distributed deadlock
+	)
+	if err != nil {
+		return 0, err
+	}
+	defer fac.Shutdown()
+
+	bar, err := proc.NewBarrier(nProcs)
+	if err != nil {
+		return 0, err
+	}
+	inbox := func(pid int) string { return fmt.Sprintf("rand-%d", pid) }
+	var received atomic.Int64
+	payload := make([]byte, msgLen)
+	start := time.Now()
+	err = fac.Run(nProcs, func(p *mpf.Process) error {
+		rng := rand.New(rand.NewSource(seed + int64(p.PID())))
+		in, err := p.OpenReceive(inbox(p.PID()), mpf.FCFS)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		outs := make([]*mpf.SendConn, nProcs)
+		for d := 0; d < nProcs; d++ {
+			if d == p.PID() {
+				continue
+			}
+			if outs[d], err = p.OpenSend(inbox(d)); err != nil {
+				return err
+			}
+			defer outs[d].Close()
+		}
+		buf := make([]byte, msgLen)
+		drain := func() error {
+			for {
+				n, ok, err := in.TryReceive(buf)
+				if err != nil || !ok {
+					return err
+				}
+				received.Add(int64(n))
+			}
+		}
+		// All inboxes must exist before anyone sends.
+		bar.Wait()
+		for i := 0; i < msgsPerProc; i++ {
+			d := rng.Intn(nProcs - 1)
+			if d >= p.PID() {
+				d++
+			}
+			for {
+				err := outs[d].Send(payload)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, mpf.ErrNoMemory) {
+					return err
+				}
+				// Region full: free blocks by draining, then retry.
+				if err := drain(); err != nil {
+					return err
+				}
+				runtime.Gosched()
+			}
+			if err := drain(); err != nil {
+				return err
+			}
+		}
+		// All sends are enqueued once every process reaches this point;
+		// the final drain then empties each inbox completely.
+		bar.Wait()
+		return drain()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rate(int(received.Load()), time.Since(start)), nil
+}
+
+// blocksFor sizes WithBlocksPerProcess so that `inflight` messages of
+// msgLen bytes fit per process under the default 64-byte blocks.
+func blocksFor(msgLen, inflight int) int {
+	perMsg := (msgLen + 59) / 60 // 64-byte blocks, 60 payload
+	if perMsg < 1 {
+		perMsg = 1
+	}
+	n := perMsg * inflight
+	if n < 256 {
+		n = 256
+	}
+	return n
+}
+
+func rate(bytes int, d time.Duration) float64 {
+	s := d.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(bytes) / s
+}

@@ -1,0 +1,67 @@
+package bench
+
+import "testing"
+
+// Smoke tests for the native application figures: on a single-CPU host
+// speedups are meaningless, so these only assert the plumbing — every
+// series present, every point positive, baselines sane.
+
+func TestFig7NativeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("native Gauss sweep in -short mode")
+	}
+	fig, err := Fig7(Config{Mode: Native, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s: %d points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("%s at %d: speedup %v", s.Label, p.X, p.Y)
+			}
+		}
+	}
+}
+
+func TestFig8NativeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("native SOR sweep in -short mode")
+	}
+	fig, err := Fig8(Config{Mode: Native, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if y, ok := s.Y(2); !ok || y != 1 {
+			t.Fatalf("%s: baseline at N=2 is %v, want 1", s.Label, y)
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("%s at %d: %v", s.Label, p.X, p.Y)
+			}
+		}
+	}
+}
+
+func TestFig3NativeShape(t *testing.T) {
+	fig, err := Fig3(Config{Mode: Native, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Get("throughput")
+	if s == nil || len(s.Points) == 0 {
+		t.Fatal("missing series")
+	}
+	// Native throughput must still grow from 16 B to 2048 B messages.
+	y16, _ := s.Y(16)
+	y2048, _ := s.Y(2048)
+	if y2048 <= y16 {
+		t.Fatalf("native base: 2048B (%.0f) not above 16B (%.0f)", y2048, y16)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// ReceiveAny consumes the next message available on any of the given
+// LNVCs for pid, blocking until one arrives. It returns the index into
+// ids of the circuit that delivered, and the byte count. Fairness is
+// round-robin across calls: the scan starts after the circuit that
+// delivered last time, so a busy circuit cannot starve its siblings.
+//
+// The paper's MPF has no multi-circuit wait; programs polled with
+// check_receive (the random benchmark's structure). ReceiveAny is the
+// blocking equivalent: it polls each circuit with the atomic TryReceive
+// claim, then sleeps on a facility-wide activity signal that every Send
+// pulses. The sleep/wake is the same structure the arena uses for
+// block-pool waits.
+func (f *Facility) ReceiveAny(pid int, ids []ID, buf []byte) (int, int, error) {
+	return f.receiveAny(pid, ids, buf, nil)
+}
+
+// ReceiveAnyDeadline is ReceiveAny bounded by d; it returns ErrTimeout
+// if no circuit delivers in time.
+func (f *Facility) ReceiveAnyDeadline(pid int, ids []ID, buf []byte, d time.Duration) (int, int, error) {
+	if d <= 0 {
+		return 0, 0, fmt.Errorf("%w: non-positive deadline %v", ErrTimeout, d)
+	}
+	deadline := time.Now().Add(d)
+	return f.receiveAny(pid, ids, buf, &deadline)
+}
+
+func (f *Facility) receiveAny(pid int, ids []ID, buf []byte, deadline *time.Time) (int, int, error) {
+	if err := f.checkPID(pid); err != nil {
+		return 0, 0, err
+	}
+	if len(ids) == 0 {
+		return 0, 0, fmt.Errorf("%w: ReceiveAny with no circuits", ErrBadLNVC)
+	}
+	// Validate connections up front so misuse fails immediately rather
+	// than blocking forever.
+	for _, id := range ids {
+		l, err := f.lookup(id)
+		if err != nil {
+			return 0, 0, err
+		}
+		l.lock.Lock()
+		_, ok := l.recvs[pid]
+		l.lock.Unlock()
+		if !ok {
+			return 0, 0, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
+		}
+	}
+	start := f.anyStart(pid, len(ids))
+	for {
+		if f.stopped.Load() {
+			return 0, 0, ErrShutdown
+		}
+		// Arm before polling: a send landing between the poll and the
+		// wait still pulses this round's channel.
+		ch := f.activityChan()
+		for k := 0; k < len(ids); k++ {
+			i := (start + k) % len(ids)
+			n, ok, err := f.tryReceive(pid, ids[i], buf)
+			if err != nil {
+				return 0, 0, err
+			}
+			if ok {
+				f.setAnyStart(pid, i+1)
+				f.trace(Event{Op: OpReceive, PID: pid, LNVC: ids[i], Bytes: n})
+				return i, n, nil
+			}
+		}
+		if deadline == nil {
+			select {
+			case <-ch:
+			case <-f.stop:
+				return 0, 0, ErrShutdown
+			}
+			continue
+		}
+		wait := time.Until(*deadline)
+		if wait <= 0 {
+			return 0, 0, ErrTimeout
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-f.stop:
+			timer.Stop()
+			return 0, 0, ErrShutdown
+		case <-timer.C:
+			return 0, 0, ErrTimeout
+		}
+	}
+}
+
+// activityChan returns the channel pulsed by the next Send.
+func (f *Facility) activityChan() <-chan struct{} {
+	f.activityMu.Lock()
+	defer f.activityMu.Unlock()
+	if f.activity == nil {
+		f.activity = make(chan struct{})
+	}
+	return f.activity
+}
+
+// pulseActivity wakes every ReceiveAny waiter; called by Send after
+// enqueueing.
+func (f *Facility) pulseActivity() {
+	f.activityMu.Lock()
+	ch := f.activity
+	f.activity = nil
+	f.activityMu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// anyStart and setAnyStart keep per-process round-robin cursors for
+// ReceiveAny fairness.
+func (f *Facility) anyStart(pid, n int) int {
+	f.activityMu.Lock()
+	defer f.activityMu.Unlock()
+	if f.anyCursor == nil {
+		f.anyCursor = make(map[int]int)
+	}
+	return f.anyCursor[pid] % n
+}
+
+func (f *Facility) setAnyStart(pid, v int) {
+	f.activityMu.Lock()
+	defer f.activityMu.Unlock()
+	if f.anyCursor == nil {
+		f.anyCursor = make(map[int]int)
+	}
+	f.anyCursor[pid] = v
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReceiveDeadlineTimesOut(t *testing.T) {
+	f := newFac(t)
+	f.OpenSend(0, "dl")
+	rid, _ := f.OpenReceive(1, "dl", FCFS)
+	start := time.Now()
+	_, err := f.ReceiveDeadline(1, rid, make([]byte, 4), 50*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("returned after %v, before the deadline", elapsed)
+	}
+}
+
+func TestReceiveDeadlineDeliversInTime(t *testing.T) {
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "dl2")
+	rid, _ := f.OpenReceive(1, "dl2", FCFS)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		f.Send(0, sid, []byte("late but fine"))
+	}()
+	buf := make([]byte, 32)
+	n, err := f.ReceiveDeadline(1, rid, buf, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "late but fine" {
+		t.Fatalf("got %q", buf[:n])
+	}
+}
+
+func TestReceiveDeadlineImmediateMessage(t *testing.T) {
+	// A queued message is returned without waiting, well under the
+	// deadline.
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "dl3")
+	rid, _ := f.OpenReceive(1, "dl3", FCFS)
+	f.Send(0, sid, []byte{7})
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := f.ReceiveDeadline(1, rid, buf, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 || time.Since(start) > time.Second {
+		t.Fatalf("buf=%v elapsed=%v", buf, time.Since(start))
+	}
+}
+
+func TestReceiveDeadlineRejectsNonPositive(t *testing.T) {
+	f := newFac(t)
+	f.OpenSend(0, "dl4")
+	rid, _ := f.OpenReceive(1, "dl4", FCFS)
+	if _, err := f.ReceiveDeadline(1, rid, nil, 0); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("zero deadline: %v", err)
+	}
+	if _, err := f.ReceiveDeadline(1, rid, nil, -time.Second); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("negative deadline: %v", err)
+	}
+}
+
+func TestReceiveDeadlineShutdownWins(t *testing.T) {
+	f := newFac(t)
+	f.OpenSend(0, "dl5")
+	rid, _ := f.OpenReceive(1, "dl5", FCFS)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := f.ReceiveDeadline(1, rid, make([]byte, 1), time.Minute)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	f.Shutdown()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrShutdown) {
+			t.Fatalf("err = %v, want ErrShutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline receive ignored Shutdown")
+	}
+}
+
+func TestReceiveDeadlineDoesNotStealFromOthers(t *testing.T) {
+	// A timing-out receiver must not consume or block a message destined
+	// for another FCFS receiver.
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "dl6")
+	r1, _ := f.OpenReceive(1, "dl6", FCFS)
+	r2, _ := f.OpenReceive(2, "dl6", FCFS)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := f.ReceiveDeadline(1, r1, make([]byte, 1), 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Errorf("r1: %v", err)
+		}
+	}()
+	wg.Wait() // r1 has timed out before the send
+	f.Send(0, sid, []byte{9})
+	buf := make([]byte, 1)
+	n, err := f.Receive(2, r2, buf)
+	if err != nil || n != 1 || buf[0] != 9 {
+		t.Fatalf("r2: n=%d err=%v buf=%v", n, err, buf)
+	}
+}
+
+func TestReceiveDeadlineStressConcurrentTimers(t *testing.T) {
+	// Many receivers with staggered deadlines against a slow sender:
+	// every receive either delivers a real message or times out; counts
+	// must reconcile.
+	f, err := Init(Config{MaxLNVCs: 2, MaxProcesses: 10, BlocksPerProcess: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	sid, _ := f.OpenSend(0, "dl7")
+	const nRecv = 4
+	var delivered, timedOut sync.Map
+	var wg sync.WaitGroup
+	for r := 1; r <= nRecv; r++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			rid, err := f.OpenReceive(pid, "dl7", FCFS)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf := make([]byte, 1)
+			got, misses := 0, 0
+			for i := 0; i < 50; i++ {
+				_, err := f.ReceiveDeadline(pid, rid, buf, time.Duration(1+i%5)*time.Millisecond)
+				switch {
+				case err == nil:
+					got++
+				case errors.Is(err, ErrTimeout):
+					misses++
+				default:
+					t.Errorf("pid %d: %v", pid, err)
+					return
+				}
+			}
+			delivered.Store(pid, got)
+			timedOut.Store(pid, misses)
+		}(r)
+	}
+	for i := 0; i < 60; i++ {
+		f.Send(0, sid, []byte{byte(i)})
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+	totalGot := 0
+	delivered.Range(func(_, v any) bool { totalGot += v.(int); return true })
+	if totalGot == 0 {
+		t.Fatal("no receiver ever got a message")
+	}
+	if totalGot > 60 {
+		t.Fatalf("delivered %d messages from 60 sends (duplication)", totalGot)
+	}
+}

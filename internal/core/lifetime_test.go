@@ -1,0 +1,319 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// Tests of LNVC lifetime, message retention and the close_receive
+// reclamation rules (paper §3.2 and DESIGN.md §5).
+
+func TestLNVCDeletedOnLastClose(t *testing.T) {
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "life")
+	rid, _ := f.OpenReceive(1, "life", FCFS)
+	f.Send(0, sid, []byte("unread"))
+
+	if err := f.CloseSend(0, sid); err != nil {
+		t.Fatal(err)
+	}
+	// One connection remains: LNVC lives.
+	if _, ok := f.LNVCByName("life"); !ok {
+		t.Fatal("LNVC deleted while a receiver is connected")
+	}
+	if err := f.CloseReceive(1, rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.LNVCByName("life"); ok {
+		t.Fatal("LNVC survives with zero connections")
+	}
+	// Unread message discarded, blocks recycled.
+	if free, total := f.Arena().FreeBlocks(), f.Arena().NumBlocks(); free != total {
+		t.Fatalf("unread message leaked: %d free of %d", free, total)
+	}
+	if st := f.Stats(); st.MessagesDropped != 1 {
+		t.Fatalf("MessagesDropped = %d, want 1", st.MessagesDropped)
+	}
+	// Operations on the stale id fail.
+	if err := f.Send(0, sid, nil); !errors.Is(err, ErrBadLNVC) {
+		t.Fatalf("send on deleted LNVC: %v", err)
+	}
+}
+
+func TestNameReuseAfterDeletionIsFreshCircuit(t *testing.T) {
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "re")
+	f.Send(0, sid, []byte("old"))
+	f.CloseSend(0, sid)
+
+	// Recreating the name yields an empty circuit: the old message died
+	// with the old circuit (this is the paper's "messages could be
+	// lost" scenario).
+	sid2, _ := f.OpenSend(0, "re")
+	rid, _ := f.OpenReceive(1, "re", FCFS)
+	if ok, _ := f.CheckReceive(1, rid); ok {
+		t.Fatal("message survived LNVC deletion")
+	}
+	_ = sid2
+}
+
+func TestRetainedBacklogForLateFCFSReceiver(t *testing.T) {
+	// Sender opens, sends, and a receiver joins later while the sender
+	// is still connected: messages must be delivered.
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "late")
+	for i := 0; i < 5; i++ {
+		f.Send(0, sid, []byte{byte(i)})
+	}
+	rid, _ := f.OpenReceive(1, "late", FCFS)
+	buf := make([]byte, 1)
+	for i := 0; i < 5; i++ {
+		if _, err := f.Receive(1, rid, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) {
+			t.Fatalf("backlog message %d: got %d", i, buf[0])
+		}
+	}
+}
+
+func TestRetainedBacklogForFirstBroadcastReceiver(t *testing.T) {
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "bk")
+	for i := 0; i < 3; i++ {
+		f.Send(0, sid, []byte{byte(i)})
+	}
+	// First receiver (broadcast) inherits the backlog.
+	rid1, _ := f.OpenReceive(1, "bk", Broadcast)
+	// Second broadcast receiver joins after: sees only later messages.
+	rid2, _ := f.OpenReceive(2, "bk", Broadcast)
+	f.Send(0, sid, []byte{9})
+
+	buf := make([]byte, 1)
+	for i := 0; i < 3; i++ {
+		f.Receive(1, rid1, buf)
+		if buf[0] != byte(i) {
+			t.Fatalf("inherited backlog message %d: got %d", i, buf[0])
+		}
+	}
+	f.Receive(1, rid1, buf)
+	if buf[0] != 9 {
+		t.Fatalf("post-join message: got %d", buf[0])
+	}
+	f.Receive(2, rid2, buf)
+	if buf[0] != 9 {
+		t.Fatalf("late joiner should see only post-join messages, got %d", buf[0])
+	}
+	if ok, _ := f.CheckReceive(2, rid2); ok {
+		t.Fatal("late joiner sees backlog")
+	}
+	// Everything consumed: no leaks.
+	if free, total := f.Arena().FreeBlocks(), f.Arena().NumBlocks(); free != total {
+		t.Fatalf("blocks leaked: %d free of %d", free, total)
+	}
+}
+
+func TestBroadcastOnlyCircuitDoesNotHoard(t *testing.T) {
+	// A circuit with only BROADCAST receivers must recycle messages once
+	// every receiver has consumed them; otherwise the broadcast
+	// benchmark would exhaust the region.
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "bo")
+	r1, _ := f.OpenReceive(1, "bo", Broadcast)
+	r2, _ := f.OpenReceive(2, "bo", Broadcast)
+	buf := make([]byte, 8)
+	for round := 0; round < 50; round++ {
+		if err := f.Send(0, sid, []byte("payload")); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		f.Receive(1, r1, buf)
+		f.Receive(2, r2, buf)
+	}
+	info, _ := f.LNVCInfo(sid)
+	if info.QueuedMsgs != 0 {
+		t.Fatalf("%d messages hoarded on broadcast-only circuit", info.QueuedMsgs)
+	}
+	if free, total := f.Arena().FreeBlocks(), f.Arena().NumBlocks(); free != total {
+		t.Fatalf("blocks leaked: %d free of %d", free, total)
+	}
+}
+
+func TestCloseReceiveReleasesBroadcastClaims(t *testing.T) {
+	// The paper's vexing close_receive problem: receiver 1 is behind;
+	// when it closes, messages already read by every other receiver must
+	// be reclaimed.
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "vex")
+	r1, _ := f.OpenReceive(1, "vex", Broadcast)
+	r2, _ := f.OpenReceive(2, "vex", Broadcast)
+	for i := 0; i < 10; i++ {
+		f.Send(0, sid, []byte{byte(i)})
+	}
+	// Receiver 2 reads everything; receiver 1 reads nothing.
+	buf := make([]byte, 1)
+	for i := 0; i < 10; i++ {
+		f.Receive(2, r2, buf)
+	}
+	info, _ := f.LNVCInfo(sid)
+	if info.QueuedMsgs != 10 {
+		t.Fatalf("queue = %d, want 10 (receiver 1 still needs them)", info.QueuedMsgs)
+	}
+	// Receiver 1 leaves: all 10 become garbage.
+	if err := f.CloseReceive(1, r1); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = f.LNVCInfo(sid)
+	if info.QueuedMsgs != 0 {
+		t.Fatalf("queue = %d after close_receive, want 0", info.QueuedMsgs)
+	}
+	if free, total := f.Arena().FreeBlocks(), f.Arena().NumBlocks(); free != total {
+		t.Fatalf("blocks leaked: %d free of %d", free, total)
+	}
+	_ = r1
+}
+
+func TestCloseReceivePartialClaims(t *testing.T) {
+	// Receiver 1 read 4 of 10 then closes: only its unread 6 claims are
+	// released; messages 0-3 were already released by its reads.
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "part")
+	r1, _ := f.OpenReceive(1, "part", Broadcast)
+	r2, _ := f.OpenReceive(2, "part", Broadcast)
+	for i := 0; i < 10; i++ {
+		f.Send(0, sid, []byte{byte(i)})
+	}
+	buf := make([]byte, 1)
+	for i := 0; i < 4; i++ {
+		f.Receive(1, r1, buf)
+	}
+	f.CloseReceive(1, r1)
+	// Receiver 2 still sees all 10, in order.
+	for i := 0; i < 10; i++ {
+		f.Receive(2, r2, buf)
+		if buf[0] != byte(i) {
+			t.Fatalf("receiver 2 message %d: got %d", i, buf[0])
+		}
+	}
+	info, _ := f.LNVCInfo(sid)
+	if info.QueuedMsgs != 0 {
+		t.Fatalf("queue = %d, want 0", info.QueuedMsgs)
+	}
+}
+
+func TestLastFCFSCloseReleasesFCFSClaims(t *testing.T) {
+	// Broadcast receivers consumed everything; an FCFS receiver never
+	// read anything and closes. Messages must not be hoarded afterwards.
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "lf")
+	fid, _ := f.OpenReceive(1, "lf", FCFS)
+	bid, _ := f.OpenReceive(2, "lf", Broadcast)
+	for i := 0; i < 5; i++ {
+		f.Send(0, sid, []byte{byte(i)})
+	}
+	buf := make([]byte, 1)
+	for i := 0; i < 5; i++ {
+		f.Receive(2, bid, buf)
+	}
+	info, _ := f.LNVCInfo(sid)
+	if info.QueuedMsgs != 5 {
+		t.Fatalf("queue = %d, want 5 (FCFS claims outstanding)", info.QueuedMsgs)
+	}
+	f.CloseReceive(1, fid)
+	info, _ = f.LNVCInfo(sid)
+	if info.QueuedMsgs != 0 {
+		t.Fatalf("queue = %d after last FCFS close, want 0", info.QueuedMsgs)
+	}
+}
+
+func TestMessagesRetainedWithNoReceivers(t *testing.T) {
+	// With zero receivers connected (but a sender), messages are
+	// retained for late joiners — rule 4.
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "rt")
+	for i := 0; i < 3; i++ {
+		f.Send(0, sid, []byte{byte(i)})
+	}
+	info, _ := f.LNVCInfo(sid)
+	if info.QueuedMsgs != 3 {
+		t.Fatalf("queue = %d, want 3 retained", info.QueuedMsgs)
+	}
+}
+
+func TestReceiverArrivesAfterAllReceiversLeft(t *testing.T) {
+	// Receivers come and go; messages sent while no receiver is
+	// connected are retained and delivered to the next FCFS joiner.
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "gap")
+	r1, _ := f.OpenReceive(1, "gap", FCFS)
+	f.Send(0, sid, []byte{1})
+	buf := make([]byte, 1)
+	f.Receive(1, r1, buf)
+	f.CloseReceive(1, r1)
+
+	f.Send(0, sid, []byte{2}) // no receivers now
+	r2, _ := f.OpenReceive(2, "gap", FCFS)
+	f.Receive(2, r2, buf)
+	if buf[0] != 2 {
+		t.Fatalf("got %d, want 2", buf[0])
+	}
+}
+
+func TestDescriptorRecycling(t *testing.T) {
+	// LNVC ids and descriptors are recycled through free lists; churn
+	// must not grow the table.
+	f := newFac(t)
+	for i := 0; i < 200; i++ {
+		name := "churn"
+		sid, err := f.OpenSend(0, name)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		rid, _ := f.OpenReceive(1, name, Broadcast)
+		f.Send(0, sid, []byte("x"))
+		f.Receive(1, rid, make([]byte, 1))
+		f.CloseSend(0, sid)
+		f.CloseReceive(1, rid)
+		if f.LNVCCount() != 0 {
+			t.Fatalf("iter %d: %d LNVCs live after full close", i, f.LNVCCount())
+		}
+	}
+	st := f.Stats()
+	if st.LNVCsCreated != 200 || st.LNVCsDeleted != 200 {
+		t.Fatalf("create/delete = %d/%d", st.LNVCsCreated, st.LNVCsDeleted)
+	}
+	if free, total := f.Arena().FreeBlocks(), f.Arena().NumBlocks(); free != total {
+		t.Fatalf("blocks leaked: %d free of %d", free, total)
+	}
+}
+
+func TestSenderClosesWhileReceiverBlocked(t *testing.T) {
+	// A receiver blocked on an empty circuit keeps the circuit alive
+	// after the sender closes; a new sender can join and deliver.
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "sw")
+	rid, _ := f.OpenReceive(1, "sw", FCFS)
+	got := make(chan byte, 1)
+	go func() {
+		buf := make([]byte, 1)
+		if _, err := f.Receive(1, rid, buf); err != nil {
+			t.Error(err)
+			got <- 0
+			return
+		}
+		got <- buf[0]
+	}()
+	f.CloseSend(0, sid)
+	sid2, err := f.OpenSend(2, "sw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid2 != rid {
+		t.Fatalf("rejoined circuit has different id %d != %d", sid2, rid)
+	}
+	if err := f.Send(2, sid2, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	if b := <-got; b != 42 {
+		t.Fatalf("got %d, want 42", b)
+	}
+}

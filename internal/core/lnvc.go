@@ -1,0 +1,635 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/spinlock"
+)
+
+// sendDesc is a send connection (paper §3.1: "send descriptors ... contain
+// the process identifier of the connected process").
+type sendDesc struct {
+	pid int
+}
+
+// recvDesc is a receive connection. BROADCAST receivers carry their
+// private FIFO head as a sequence number; FCFS receivers use the LNVC's
+// shared head.
+type recvDesc struct {
+	pid     int
+	proto   Protocol
+	headSeq uint64 // BROADCAST only: next sequence this receiver consumes
+}
+
+// lnvc is an LNVC descriptor (paper Figure 2). All mutable fields are
+// guarded by lock.
+type lnvc struct {
+	name string
+	id   ID
+
+	lock spinlock.TAS
+	cond *sync.Cond // signalled on enqueue and shutdown
+
+	queue       msg.Queue
+	fcfsHeadSeq uint64 // shared FCFS head: next sequence FCFS may consume
+
+	sends  map[int]*sendDesc
+	recvs  map[int]*recvDesc
+	nFCFS  int // count of FCFS receive connections
+	nBcast int // count of BROADCAST receive connections
+
+	// descriptor free lists, per paper §3.1 ("Like message blocks, LNVC,
+	// send, and receive descriptors are linked into free lists when not
+	// in use").
+	sendFree []*sendDesc
+	recvFree []*recvDesc
+}
+
+func newLNVC(name string, id ID) *lnvc {
+	l := &lnvc{
+		name:  name,
+		id:    id,
+		sends: make(map[int]*sendDesc),
+		recvs: make(map[int]*recvDesc),
+	}
+	l.cond = sync.NewCond(&l.lock)
+	return l
+}
+
+// reset prepares a recycled descriptor for reuse.
+func (l *lnvc) reset(name string, id ID) {
+	l.name = name
+	l.id = id
+	l.queue = msg.Queue{}
+	l.fcfsHeadSeq = 0
+	clear(l.sends)
+	clear(l.recvs)
+	l.nFCFS, l.nBcast = 0, 0
+}
+
+func (l *lnvc) connections() int { return len(l.sends) + len(l.recvs) }
+
+func (l *lnvc) getSendDesc(pid int) *sendDesc {
+	if n := len(l.sendFree); n > 0 {
+		d := l.sendFree[n-1]
+		l.sendFree = l.sendFree[:n-1]
+		d.pid = pid
+		return d
+	}
+	return &sendDesc{pid: pid}
+}
+
+func (l *lnvc) putSendDesc(d *sendDesc) { l.sendFree = append(l.sendFree, d) }
+
+func (l *lnvc) getRecvDesc(pid int, proto Protocol, head uint64) *recvDesc {
+	if n := len(l.recvFree); n > 0 {
+		d := l.recvFree[n-1]
+		l.recvFree = l.recvFree[:n-1]
+		*d = recvDesc{pid: pid, proto: proto, headSeq: head}
+		return d
+	}
+	return &recvDesc{pid: pid, proto: proto, headSeq: head}
+}
+
+func (l *lnvc) putRecvDesc(d *recvDesc) { l.recvFree = append(l.recvFree, d) }
+
+// OpenSend establishes a send connection for pid on the LNVC called name,
+// creating the LNVC if necessary, and returns its internal identifier.
+func (f *Facility) OpenSend(pid int, name string) (ID, error) {
+	id, err := f.open(pid, name, func(l *lnvc) error {
+		if _, dup := l.sends[pid]; dup {
+			return fmt.Errorf("%w: send on %q by process %d", ErrAlreadyOpen, name, pid)
+		}
+		l.sends[pid] = l.getSendDesc(pid)
+		return nil
+	})
+	f.trace(Event{Op: OpOpenSend, PID: pid, LNVC: id, Name: name, Err: err})
+	return id, err
+}
+
+// OpenReceive establishes a receive connection with the given protocol
+// for pid on the LNVC called name, creating the LNVC if necessary.
+func (f *Facility) OpenReceive(pid int, name string, proto Protocol) (ID, error) {
+	if proto != FCFS && proto != Broadcast {
+		return -1, fmt.Errorf("mpf: unknown protocol %d", proto)
+	}
+	id, err := f.open(pid, name, func(l *lnvc) error {
+		if _, dup := l.recvs[pid]; dup {
+			// Also covers the paper's rule that one process cannot hold
+			// both FCFS and BROADCAST connections on one LNVC.
+			return fmt.Errorf("%w: receive on %q by process %d", ErrAlreadyOpen, name, pid)
+		}
+		head := l.queue.NextSeq()
+		if proto == Broadcast {
+			if l.connections() == len(l.sends) && l.queue.Len() > 0 {
+				// First receiver on a circuit with a retained backlog:
+				// inherit it (rule 5 in the package comment).
+				head = l.queue.Head().Seq
+				l.queue.Walk(func(m, _ *msg.Message) bool {
+					m.Pending++
+					m.FCFSNeeded = false
+					return true
+				})
+			}
+		}
+		l.recvs[pid] = l.getRecvDesc(pid, proto, head)
+		if proto == FCFS {
+			l.nFCFS++
+		} else {
+			l.nBcast++
+		}
+		return nil
+	})
+	f.trace(Event{Op: OpOpenReceive, PID: pid, LNVC: id, Name: name, Err: err})
+	return id, err
+}
+
+// open is the shared find-or-create path for both open primitives.
+// attach runs under both the table write lock and the LNVC lock.
+func (f *Facility) open(pid int, name string, attach func(*lnvc) error) (ID, error) {
+	if err := f.checkPID(pid); err != nil {
+		return -1, err
+	}
+	if err := checkName(name); err != nil {
+		return -1, err
+	}
+	if f.stopped.Load() {
+		return -1, ErrShutdown
+	}
+	f.tableLock.Lock()
+	defer f.tableLock.Unlock()
+
+	id, exists := f.names[name]
+	var l *lnvc
+	if exists {
+		l = f.slots[id]
+	} else {
+		if len(f.freeIDs) == 0 {
+			return -1, fmt.Errorf("%w (max %d)", ErrTooManyLNVCs, f.cfg.MaxLNVCs)
+		}
+		id = f.freeIDs[len(f.freeIDs)-1]
+		if n := len(f.lnvcFree); n > 0 {
+			l = f.lnvcFree[n-1]
+			f.lnvcFree = f.lnvcFree[:n-1]
+			l.reset(name, id)
+		} else {
+			l = newLNVC(name, id)
+		}
+	}
+
+	l.lock.Lock()
+	err := attach(l)
+	l.lock.Unlock()
+	if err != nil {
+		return -1, err
+	}
+	if !exists {
+		f.freeIDs = f.freeIDs[:len(f.freeIDs)-1]
+		f.names[name] = id
+		f.slots[id] = l
+		f.stats.lnvcsCreated.Add(1)
+	}
+	f.stats.opens.Add(1)
+	return id, nil
+}
+
+// CloseSend removes pid's send connection from the LNVC. If it is the
+// last connection the LNVC is deleted and all unread messages discarded.
+func (f *Facility) CloseSend(pid int, id ID) error {
+	err := f.close(pid, id, func(l *lnvc) error {
+		d, ok := l.sends[pid]
+		if !ok {
+			return fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
+		}
+		delete(l.sends, pid)
+		l.putSendDesc(d)
+		return nil
+	})
+	f.trace(Event{Op: OpCloseSend, PID: pid, LNVC: id, Err: err})
+	return err
+}
+
+// CloseReceive removes pid's receive connection. A departing BROADCAST
+// receiver releases its claim on every message it had not yet consumed
+// (the paper's §3.2 reclamation problem); a departing last-FCFS receiver
+// releases FCFS claims if other receivers remain. If this was the last
+// connection the LNVC is deleted.
+func (f *Facility) CloseReceive(pid int, id ID) error {
+	err := f.close(pid, id, func(l *lnvc) error {
+		d, ok := l.recvs[pid]
+		if !ok {
+			return fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
+		}
+		delete(l.recvs, pid)
+		if d.proto == FCFS {
+			l.nFCFS--
+		} else {
+			l.nBcast--
+			// Release this receiver's claim on unconsumed messages.
+			l.queue.Walk(func(m, _ *msg.Message) bool {
+				if m.Seq >= d.headSeq && m.Pending > 0 {
+					m.Pending--
+				}
+				return true
+			})
+		}
+		l.putRecvDesc(d)
+		f.reclaimLocked(l)
+		return nil
+	})
+	f.trace(Event{Op: OpCloseReceive, PID: pid, LNVC: id, Err: err})
+	return err
+}
+
+// close is the shared teardown path. detach runs under both locks; if it
+// leaves the LNVC with no connections, the LNVC is deleted.
+func (f *Facility) close(pid int, id ID, detach func(*lnvc) error) error {
+	if err := f.checkPID(pid); err != nil {
+		return err
+	}
+	f.tableLock.Lock()
+	defer f.tableLock.Unlock()
+	if id < 0 || int(id) >= len(f.slots) || f.slots[id] == nil {
+		return fmt.Errorf("%w: id %d", ErrBadLNVC, id)
+	}
+	l := f.slots[id]
+	l.lock.Lock()
+	err := detach(l)
+	var drop []*msg.Message
+	dead := err == nil && l.connections() == 0
+	if dead {
+		// Collect unread messages for discarding outside the LNVC lock.
+		l.queue.Walk(func(m, _ *msg.Message) bool {
+			drop = append(drop, m)
+			return true
+		})
+		l.queue = msg.Queue{}
+	}
+	l.lock.Unlock()
+	if err != nil {
+		return err
+	}
+	f.stats.closes.Add(1)
+	if dead {
+		delete(f.names, l.name)
+		f.slots[id] = nil
+		f.freeIDs = append(f.freeIDs, id)
+		f.lnvcFree = append(f.lnvcFree, l)
+		f.stats.lnvcsDeleted.Add(1)
+		f.stats.messagesDropped.Add(uint64(len(drop)))
+		for _, m := range drop {
+			f.pool.Release(m)
+		}
+	}
+	return nil
+}
+
+// Send transfers buf asynchronously to the LNVC: the payload is copied
+// into chained message blocks and the message is appended to the FIFO
+// (paper §2, message_send). The sender proceeds as soon as the copy
+// completes.
+func (f *Facility) Send(pid int, id ID, buf []byte) error {
+	err := f.send(pid, id, buf)
+	f.trace(Event{Op: OpSend, PID: pid, LNVC: id, Bytes: len(buf), Err: err})
+	return err
+}
+
+func (f *Facility) send(pid int, id ID, buf []byte) error {
+	if err := f.checkPID(pid); err != nil {
+		return err
+	}
+	if f.stopped.Load() {
+		return ErrShutdown
+	}
+	if f.arena.BlocksFor(len(buf)) > f.arena.NumBlocks() {
+		return fmt.Errorf("%w: %d bytes, region holds %d", ErrMessageTooBig, len(buf), f.arena.NumBlocks()*f.arena.PayloadSize())
+	}
+	l, err := f.lookup(id)
+	if err != nil {
+		return err
+	}
+	// Connection check is done before the (possibly blocking) copy so an
+	// unconnected sender fails fast, and rechecked after under the lock.
+	l.lock.Lock()
+	if _, ok := l.sends[pid]; !ok {
+		l.lock.Unlock()
+		return fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
+	}
+	l.lock.Unlock()
+
+	// First copy: user buffer into message blocks. This happens outside
+	// the LNVC lock, which is what lets BROADCAST receivers and other
+	// senders proceed concurrently (the concurrency Figure 5 measures).
+	m, buildErr := f.pool.Build(pid, buf, f.cfg.SendPolicy == BlockUntilFree, f.stop)
+	if buildErr != nil {
+		if f.stopped.Load() {
+			return ErrShutdown
+		}
+		return fmt.Errorf("%w: %v", ErrNoMemory, buildErr)
+	}
+
+	l.lock.Lock()
+	if _, ok := l.sends[pid]; !ok {
+		l.lock.Unlock()
+		f.pool.Release(m)
+		return fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
+	}
+	m.Pending = l.nBcast
+	m.FCFSNeeded = true
+	l.queue.Enqueue(m)
+	l.cond.Broadcast()
+	l.lock.Unlock()
+	f.pulseActivity()
+
+	f.stats.sends.Add(1)
+	f.stats.bytesSent.Add(uint64(len(buf)))
+	return nil
+}
+
+// Receive blocks until a message is available for pid's connection, then
+// copies it into buf and returns the number of bytes transferred (paper
+// §2, message_receive; the copy is truncated to len(buf)).
+func (f *Facility) Receive(pid int, id ID, buf []byte) (int, error) {
+	n, err := f.receive(pid, id, buf, nil)
+	f.trace(Event{Op: OpReceive, PID: pid, LNVC: id, Bytes: n, Err: err})
+	return n, err
+}
+
+// ReceiveDeadline is Receive with a bound on the wait: if no message
+// becomes available within d it returns ErrTimeout. The original MPF had
+// no timed receive (check_receive plus polling was the idiom); this is
+// the blocking-with-deadline variant a modern caller expects, and the
+// examples use it to turn potential deadlocks into diagnosable errors.
+func (f *Facility) ReceiveDeadline(pid int, id ID, buf []byte, d time.Duration) (int, error) {
+	if d <= 0 {
+		return 0, fmt.Errorf("%w: non-positive deadline %v", ErrTimeout, d)
+	}
+	deadline := time.Now().Add(d)
+	n, err := f.receive(pid, id, buf, &deadline)
+	f.trace(Event{Op: OpReceive, PID: pid, LNVC: id, Bytes: n, Err: err})
+	return n, err
+}
+
+func (f *Facility) receive(pid int, id ID, buf []byte, deadline *time.Time) (int, error) {
+	if err := f.checkPID(pid); err != nil {
+		return 0, err
+	}
+	l, err := f.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	l.lock.Lock()
+	d, ok := l.recvs[pid]
+	if !ok {
+		l.lock.Unlock()
+		return 0, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
+	}
+	var m *msg.Message
+	waited := false
+	var timer *time.Timer
+	timedOut := false
+	if deadline != nil {
+		// The waker broadcasts the LNVC condition so the waiter below
+		// re-evaluates; timedOut is only read/written under the LNVC
+		// lock except for the final defensive Stop.
+		timer = time.AfterFunc(time.Until(*deadline), func() {
+			l.lock.Lock()
+			timedOut = true
+			l.cond.Broadcast()
+			l.lock.Unlock()
+		})
+		defer timer.Stop()
+	}
+	for {
+		if f.stopped.Load() {
+			l.lock.Unlock()
+			return 0, ErrShutdown
+		}
+		m = l.availableLocked(d)
+		if m != nil {
+			break
+		}
+		if deadline != nil && (timedOut || !time.Now().Before(*deadline)) {
+			l.lock.Unlock()
+			return 0, ErrTimeout
+		}
+		waited = true
+		l.cond.Wait()
+	}
+	if waited {
+		f.stats.receiveWaits.Add(1)
+	}
+
+	// Claim the message under the lock, then copy it out. For FCFS the
+	// claim (advancing the shared head) must precede the copy or two
+	// FCFS receivers could extract the same message. The copy itself —
+	// the second of the paper's two copies — happens outside the lock so
+	// BROADCAST receivers proceed concurrently.
+	if d.proto == FCFS {
+		m.FCFSNeeded = false
+		l.fcfsHeadSeq = m.Seq + 1
+	} else {
+		d.headSeq = m.Seq + 1
+		m.Pending--
+	}
+	// Pin the message while copying outside the lock: the claim above
+	// may have made it reclaimable, and a concurrent receive or close
+	// must not recycle the blocks mid-copy.
+	m.Pins++
+	l.lock.Unlock()
+
+	n := f.pool.Extract(m, buf)
+
+	l.lock.Lock()
+	m.Pins--
+	f.reclaimLocked(l)
+	l.lock.Unlock()
+
+	f.stats.receives.Add(1)
+	f.stats.bytesRecvd.Add(uint64(n))
+	return n, nil
+}
+
+// availableLocked returns the next message deliverable to d, or nil.
+func (l *lnvc) availableLocked(d *recvDesc) *msg.Message {
+	if d.proto == FCFS {
+		// The first message not yet FCFS-consumed. Messages below the
+		// shared head have FCFSNeeded cleared, so scanning from the
+		// queue head for FCFSNeeded is equivalent to following the
+		// shared head pointer; the queue head is almost always it.
+		var found *msg.Message
+		l.queue.Walk(func(m, _ *msg.Message) bool {
+			if m.FCFSNeeded && m.Seq >= l.fcfsHeadSeq {
+				found = m
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	return l.queue.After(d.headSeq)
+}
+
+// TryReceive is the non-blocking receive: if a message is available for
+// pid's connection it is consumed exactly as by Receive and TryReceive
+// reports (n, true); otherwise it returns (0, false) immediately. It is
+// the atomic alternative to the check_receive-then-message_receive pair,
+// which the paper warns is racy for FCFS receivers ("another process
+// with a FCFS receive connection may acquire the message before the
+// checking process can receive the message").
+func (f *Facility) TryReceive(pid int, id ID, buf []byte) (int, bool, error) {
+	n, ok, err := f.tryReceive(pid, id, buf)
+	ev := Event{Op: OpTryReceive, PID: pid, LNVC: id, Err: err}
+	if ok {
+		ev.Bytes = n
+	}
+	f.trace(ev)
+	return n, ok, err
+}
+
+func (f *Facility) tryReceive(pid int, id ID, buf []byte) (int, bool, error) {
+	if err := f.checkPID(pid); err != nil {
+		return 0, false, err
+	}
+	if f.stopped.Load() {
+		return 0, false, ErrShutdown
+	}
+	l, err := f.lookup(id)
+	if err != nil {
+		return 0, false, err
+	}
+	l.lock.Lock()
+	d, ok := l.recvs[pid]
+	if !ok {
+		l.lock.Unlock()
+		return 0, false, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
+	}
+	m := l.availableLocked(d)
+	if m == nil {
+		l.lock.Unlock()
+		return 0, false, nil
+	}
+	if d.proto == FCFS {
+		m.FCFSNeeded = false
+		l.fcfsHeadSeq = m.Seq + 1
+	} else {
+		d.headSeq = m.Seq + 1
+		m.Pending--
+	}
+	m.Pins++
+	l.lock.Unlock()
+
+	n := f.pool.Extract(m, buf)
+
+	l.lock.Lock()
+	m.Pins--
+	f.reclaimLocked(l)
+	l.lock.Unlock()
+
+	f.stats.receives.Add(1)
+	f.stats.bytesRecvd.Add(uint64(n))
+	return n, true, nil
+}
+
+// CheckReceive reports whether a message is currently available for pid's
+// receive connection (paper §2, check_receive). For FCFS connections the
+// answer is advisory: another FCFS receiver may claim the message first,
+// exactly the caveat the paper gives.
+func (f *Facility) CheckReceive(pid int, id ID) (bool, error) {
+	ok, err := f.checkReceive(pid, id)
+	f.trace(Event{Op: OpCheckReceive, PID: pid, LNVC: id, Err: err})
+	return ok, err
+}
+
+func (f *Facility) checkReceive(pid int, id ID) (bool, error) {
+	if err := f.checkPID(pid); err != nil {
+		return false, err
+	}
+	l, err := f.lookup(id)
+	if err != nil {
+		return false, err
+	}
+	l.lock.Lock()
+	defer l.lock.Unlock()
+	d, ok := l.recvs[pid]
+	if !ok {
+		return false, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
+	}
+	f.stats.checks.Add(1)
+	return l.availableLocked(d) != nil, nil
+}
+
+// reclaimLocked removes and recycles every message that no connected
+// receiver can still consume (rules 3-4 of the package comment). Called
+// under the LNVC lock after any event that can release a claim.
+func (f *Facility) reclaimLocked(l *lnvc) {
+	bcastOnly := l.nFCFS == 0 && (l.nBcast > 0)
+	type rm struct{ m, prev *msg.Message }
+	var victims []rm
+	var prevSurvivor *msg.Message
+	l.queue.Walk(func(m, _ *msg.Message) bool {
+		dead := m.Pins == 0 && m.Pending == 0 && (!m.FCFSNeeded || bcastOnly)
+		if dead {
+			victims = append(victims, rm{m, prevSurvivor})
+		} else {
+			prevSurvivor = m
+		}
+		return true
+	})
+	for _, v := range victims {
+		l.queue.Remove(v.m, v.prev)
+	}
+	// Release blocks outside the queue walk; still under the LNVC lock,
+	// but the arena has its own lock so this is safe (arena lock is a
+	// leaf in the lock order).
+	for _, v := range victims {
+		f.pool.Release(v.m)
+	}
+}
+
+// Info describes an LNVC's current state for introspection and tests.
+type Info struct {
+	Name          string
+	ID            ID
+	QueuedMsgs    int
+	Senders       int
+	FCFSRecvs     int
+	BcastRecvs    int
+	FCFSHeadSeq   uint64
+	NextSeq       uint64
+	SenderPIDs    []int
+	ReceiverPIDs  []int
+	ReceiverProto map[int]Protocol
+}
+
+// LNVCInfo returns a snapshot of the LNVC's descriptor state.
+func (f *Facility) LNVCInfo(id ID) (Info, error) {
+	l, err := f.lookup(id)
+	if err != nil {
+		return Info{}, err
+	}
+	l.lock.Lock()
+	defer l.lock.Unlock()
+	info := Info{
+		Name:          l.name,
+		ID:            l.id,
+		QueuedMsgs:    l.queue.Len(),
+		Senders:       len(l.sends),
+		FCFSRecvs:     l.nFCFS,
+		BcastRecvs:    l.nBcast,
+		FCFSHeadSeq:   l.fcfsHeadSeq,
+		NextSeq:       l.queue.NextSeq(),
+		ReceiverProto: make(map[int]Protocol, len(l.recvs)),
+	}
+	for pid := range l.sends {
+		info.SenderPIDs = append(info.SenderPIDs, pid)
+	}
+	for pid, d := range l.recvs {
+		info.ReceiverPIDs = append(info.ReceiverPIDs, pid)
+		info.ReceiverProto[pid] = d.proto
+	}
+	return info, nil
+}

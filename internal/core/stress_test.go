@@ -1,0 +1,372 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Failure injection and adversarial stress. Nothing here asserts
+// throughput — only that the facility never deadlocks, never corrupts
+// its free lists, and fails with the documented errors.
+
+func TestShutdownStormDuringTraffic(t *testing.T) {
+	// Shut the facility down while senders and receivers are mid-flight;
+	// every goroutine must return promptly with ErrShutdown (or succeed).
+	for round := 0; round < 10; round++ {
+		f, err := Init(Config{MaxLNVCs: 8, MaxProcesses: 16, BlocksPerProcess: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				name := fmt.Sprintf("storm-%d", pid%3)
+				sid, err := f.OpenSend(pid, name)
+				if err != nil {
+					return
+				}
+				rid, err := f.OpenReceive(pid, name, FCFS)
+				if err != nil {
+					return
+				}
+				buf := make([]byte, 64)
+				for {
+					if err := f.Send(pid, sid, buf); err != nil {
+						if !errors.Is(err, ErrShutdown) && !errors.Is(err, ErrBadLNVC) {
+							t.Errorf("send: %v", err)
+						}
+						return
+					}
+					if _, err := f.Receive(pid, rid, buf); err != nil {
+						if !errors.Is(err, ErrShutdown) {
+							t.Errorf("receive: %v", err)
+						}
+						return
+					}
+				}
+			}(w)
+		}
+		time.Sleep(time.Duration(round) * time.Millisecond)
+		f.Shutdown()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("workers did not unwind after Shutdown")
+		}
+	}
+}
+
+func TestCloseStormWhileSending(t *testing.T) {
+	// Receivers open and close aggressively while a sender streams.
+	// Invariants: the sender never wedges, and after everything closes
+	// the arena is whole.
+	f, err := Init(Config{MaxLNVCs: 4, MaxProcesses: 16, BlocksPerProcess: 256, SendPolicy: FailFast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	sid, _ := f.OpenSend(0, "churny")
+	// A stable broadcast receiver keeps the circuit alive and bounded.
+	stableID, _ := f.OpenReceive(15, "churny", Broadcast)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // stable drainer
+		defer wg.Done()
+		buf := make([]byte, 32)
+		for {
+			if _, ok, err := f.TryReceive(15, stableID, buf); err != nil || !ok {
+				select {
+				case <-stop:
+					return
+				default:
+					continue
+				}
+			}
+		}
+	}()
+	for w := 1; w <= 6; w++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(pid)))
+			buf := make([]byte, 32)
+			for i := 0; i < 400; i++ {
+				proto := Protocol(rng.Intn(2))
+				rid, err := f.OpenReceive(pid, "churny", proto)
+				if err != nil {
+					continue
+				}
+				f.TryReceive(pid, rid, buf)
+				if err := f.CloseReceive(pid, rid); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}
+		}(w)
+	}
+	payload := make([]byte, 24)
+	for i := 0; i < 2000; i++ {
+		if err := f.Send(0, sid, payload); err != nil && !errors.Is(err, ErrNoMemory) {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Drain and verify conservation.
+	buf := make([]byte, 32)
+	for {
+		_, ok, err := f.TryReceive(15, stableID, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	f.CloseSend(0, sid)
+	f.CloseReceive(15, stableID)
+	if free, total := f.Arena().FreeBlocks(), f.Arena().NumBlocks(); free != total {
+		t.Fatalf("blocks leaked after close storm: %d free of %d", free, total)
+	}
+	if err := f.Arena().CheckFreeList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionExhaustionStorm(t *testing.T) {
+	// Many fail-fast senders against a tiny region: sends fail with
+	// ErrNoMemory but nothing corrupts; once drained, capacity returns.
+	f, err := Init(Config{MaxLNVCs: 2, MaxProcesses: 8, BlockSize: 16, BlocksPerProcess: 8, SendPolicy: FailFast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	rid, _ := f.OpenReceive(0, "tiny", FCFS)
+	var sent, failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 1; w <= 4; w++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			sid, err := f.OpenSend(pid, "tiny")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer f.CloseSend(pid, sid)
+			payload := make([]byte, 30)
+			for i := 0; i < 500; i++ {
+				switch err := f.Send(pid, sid, payload); {
+				case err == nil:
+					sent.Add(1)
+				case errors.Is(err, ErrNoMemory):
+					failed.Add(1)
+				default:
+					t.Errorf("unexpected: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent drain.
+	drained := int64(0)
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 30)
+		for {
+			_, ok, err := f.TryReceive(0, rid, buf)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if ok {
+				drained++
+				continue
+			}
+			select {
+			case <-done:
+				// final sweep
+				for {
+					if _, ok, _ := f.TryReceive(0, rid, buf); !ok {
+						return
+					}
+					drained++
+				}
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	time.Sleep(50 * time.Millisecond)
+	if failed.Load() == 0 {
+		t.Log("no send ever failed; region larger than intended but harmless")
+	}
+	if err := f.Arena().CheckFreeList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyCircuitsManyProcessesSoak(t *testing.T) {
+	// A miniature application mix: pipelines, fan-in, fan-out and
+	// broadcast on distinct circuits, all concurrent, verified by
+	// counters.
+	f, err := Init(Config{MaxLNVCs: 32, MaxProcesses: 24, BlocksPerProcess: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	const msgs = 300
+	var wg sync.WaitGroup
+
+	// Pipeline: 4 stages, each forwarding.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var inner sync.WaitGroup
+		for stage := 0; stage < 4; stage++ {
+			inner.Add(1)
+			go func(stage int) {
+				defer inner.Done()
+				pid := stage
+				var in ID
+				var err error
+				if stage > 0 {
+					in, err = f.OpenReceive(pid, fmt.Sprintf("pipe-%d", stage), FCFS)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				var out ID
+				if stage < 3 {
+					out, err = f.OpenSend(pid, fmt.Sprintf("pipe-%d", stage+1))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				buf := make([]byte, 4)
+				for i := 0; i < msgs; i++ {
+					if stage > 0 {
+						if _, err := f.Receive(pid, in, buf); err != nil {
+							t.Error(err)
+							return
+						}
+					} else {
+						buf[0] = byte(i)
+					}
+					if stage < 3 {
+						if err := f.Send(pid, out, buf); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}(stage)
+		}
+		inner.Wait()
+	}()
+
+	// Fan-in: 4 producers, one consumer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var inner sync.WaitGroup
+		rid, err := f.OpenReceive(8, "fanin", FCFS)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for p := 9; p <= 12; p++ {
+			inner.Add(1)
+			go func(pid int) {
+				defer inner.Done()
+				sid, err := f.OpenSend(pid, "fanin")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < msgs; i++ {
+					if err := f.Send(pid, sid, []byte{1}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(p)
+		}
+		buf := make([]byte, 1)
+		for i := 0; i < 4*msgs; i++ {
+			if _, err := f.Receive(8, rid, buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		inner.Wait()
+	}()
+
+	// Broadcast: one speaker, 5 listeners.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var inner sync.WaitGroup
+		rids := make([]ID, 5)
+		for l := 0; l < 5; l++ {
+			var err error
+			rids[l], err = f.OpenReceive(14+l, "salon", Broadcast)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		for l := 0; l < 5; l++ {
+			inner.Add(1)
+			go func(pid int, rid ID) {
+				defer inner.Done()
+				buf := make([]byte, 2)
+				for i := 0; i < msgs; i++ {
+					if _, err := f.Receive(pid, rid, buf); err != nil {
+						t.Error(err)
+						return
+					}
+					if buf[0] != byte(i) {
+						t.Errorf("listener %d: out of order at %d", pid, i)
+						return
+					}
+				}
+			}(14+l, rids[l])
+		}
+		sid, err := f.OpenSend(13, "salon")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			if err := f.Send(13, sid, []byte{byte(i), 0}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		inner.Wait()
+	}()
+
+	wg.Wait()
+	st := f.Stats()
+	wantSends := uint64(3*msgs /* pipeline stages 0-2 */ + 4*msgs + msgs)
+	if st.Sends != wantSends {
+		t.Fatalf("Sends = %d, want %d", st.Sends, wantSends)
+	}
+	wantRecv := uint64(3*msgs /* stages 1-3 */ + 4*msgs + 5*msgs)
+	if st.Receives != wantRecv {
+		t.Fatalf("Receives = %d, want %d", st.Receives, wantRecv)
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+// Op identifies an MPF primitive in a trace event.
+type Op uint8
+
+// Trace operation codes, one per user-visible primitive.
+const (
+	OpOpenSend Op = iota
+	OpOpenReceive
+	OpCloseSend
+	OpCloseReceive
+	OpSend
+	OpReceive
+	OpCheckReceive
+	OpTryReceive
+)
+
+var opNames = [...]string{
+	OpOpenSend:     "open_send",
+	OpOpenReceive:  "open_receive",
+	OpCloseSend:    "close_send",
+	OpCloseReceive: "close_receive",
+	OpSend:         "message_send",
+	OpReceive:      "message_receive",
+	OpCheckReceive: "check_receive",
+	OpTryReceive:   "try_receive",
+}
+
+// String returns the paper's name for the primitive.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Event is one traced primitive invocation.
+type Event struct {
+	Op    Op
+	PID   int
+	LNVC  ID
+	Name  string // LNVC name (open operations only)
+	Bytes int    // payload bytes (send/receive only)
+	Err   error  // nil on success
+}
+
+// Tracer receives events from an instrumented facility. Implementations
+// must be safe for concurrent use; Trace is called with no facility locks
+// held beyond the caller's own.
+type Tracer interface {
+	Trace(Event)
+}
+
+func (f *Facility) trace(ev Event) {
+	if f.cfg.Tracer != nil {
+		f.cfg.Tracer.Trace(ev)
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestTryReceiveBasics(t *testing.T) {
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "try")
+	rid, _ := f.OpenReceive(1, "try", FCFS)
+
+	buf := make([]byte, 8)
+	n, ok, err := f.TryReceive(1, rid, buf)
+	if err != nil || ok || n != 0 {
+		t.Fatalf("empty circuit: n=%d ok=%v err=%v", n, ok, err)
+	}
+	f.Send(0, sid, []byte("abc"))
+	n, ok, err = f.TryReceive(1, rid, buf)
+	if err != nil || !ok || n != 3 || string(buf[:3]) != "abc" {
+		t.Fatalf("n=%d ok=%v err=%v buf=%q", n, ok, err, buf[:n])
+	}
+	// Consumed: a second try finds nothing.
+	if _, ok, _ := f.TryReceive(1, rid, buf); ok {
+		t.Fatal("message consumed twice")
+	}
+}
+
+func TestTryReceiveValidation(t *testing.T) {
+	f := newFac(t)
+	id, _ := f.OpenSend(0, "v")
+	if _, _, err := f.TryReceive(-1, id, nil); !errors.Is(err, ErrBadProcess) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := f.TryReceive(0, 99, nil); !errors.Is(err, ErrBadLNVC) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := f.TryReceive(0, id, nil); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("sender-only TryReceive: err = %v", err)
+	}
+	f.Shutdown()
+	if _, _, err := f.TryReceive(0, id, nil); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("after shutdown: err = %v", err)
+	}
+}
+
+func TestTryReceiveBroadcastStreams(t *testing.T) {
+	f := newFac(t)
+	sid, _ := f.OpenSend(0, "tb")
+	r1, _ := f.OpenReceive(1, "tb", Broadcast)
+	r2, _ := f.OpenReceive(2, "tb", Broadcast)
+	for i := 0; i < 5; i++ {
+		f.Send(0, sid, []byte{byte(i)})
+	}
+	buf := make([]byte, 1)
+	for i := 0; i < 5; i++ {
+		if _, ok, _ := f.TryReceive(1, r1, buf); !ok || buf[0] != byte(i) {
+			t.Fatalf("r1 message %d: ok=%v got=%d", i, ok, buf[0])
+		}
+	}
+	// r2's private stream unaffected by r1's consumption.
+	for i := 0; i < 5; i++ {
+		if _, ok, _ := f.TryReceive(2, r2, buf); !ok || buf[0] != byte(i) {
+			t.Fatalf("r2 message %d: ok=%v got=%d", i, ok, buf[0])
+		}
+	}
+	if free, total := f.Arena().FreeBlocks(), f.Arena().NumBlocks(); free != total {
+		t.Fatalf("blocks leaked: %d free of %d", free, total)
+	}
+}
+
+func TestTryReceiveExactlyOnceUnderContention(t *testing.T) {
+	// The whole point of TryReceive: concurrent FCFS pollers never
+	// duplicate and never lose a message.
+	f, err := Init(Config{MaxLNVCs: 2, MaxProcesses: 8, BlocksPerProcess: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	const nPollers, nMsgs = 4, 400
+	sid, _ := f.OpenSend(0, "poll")
+	rids := make([]ID, nPollers)
+	for i := range rids {
+		rids[i], _ = f.OpenReceive(1+i, "poll", FCFS)
+	}
+	var mu sync.Mutex
+	seen := make(map[byte]int)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < nPollers; i++ {
+		wg.Add(1)
+		go func(pid int, rid ID) {
+			defer wg.Done()
+			buf := make([]byte, 2)
+			for {
+				n, ok, err := f.TryReceive(pid, rid, buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
+					if n != 2 {
+						t.Errorf("n = %d", n)
+						return
+					}
+					mu.Lock()
+					seen[buf[0]]++
+					done := buf[1] == 0xFF
+					mu.Unlock()
+					if done {
+						return
+					}
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(1+i, rids[i])
+	}
+	for i := 0; i < nMsgs; i++ {
+		if err := f.Send(0, sid, []byte{byte(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nPollers; i++ {
+		f.Send(0, sid, []byte{byte(200 + i), 0xFF})
+	}
+	wg.Wait()
+	close(stop)
+	// 400 payload values wrap at 256; count totals instead of values.
+	total := 0
+	for _, c := range seen {
+		total += c
+	}
+	if total != nMsgs+nPollers {
+		t.Fatalf("delivered %d, want %d", total, nMsgs+nPollers)
+	}
+}
+
+func TestTryReceiveTraced(t *testing.T) {
+	var events []Event
+	var mu sync.Mutex
+	f, err := Init(Config{MaxProcesses: 2, Tracer: tracerFn(func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	sid, _ := f.OpenSend(0, "tt")
+	rid, _ := f.OpenReceive(1, "tt", FCFS)
+	f.Send(0, sid, []byte("xy"))
+	f.TryReceive(1, rid, make([]byte, 2))
+	mu.Lock()
+	defer mu.Unlock()
+	last := events[len(events)-1]
+	if last.Op != OpTryReceive || last.Bytes != 2 {
+		t.Fatalf("last event = %+v", last)
+	}
+	if OpTryReceive.String() != "try_receive" {
+		t.Fatal("op name wrong")
+	}
+}
+
+type tracerFn func(Event)
+
+func (f tracerFn) Trace(ev Event) { f(ev) }

@@ -1,0 +1,315 @@
+package fastpath
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRingRoundtrip(t *testing.T) {
+	r, err := NewRing(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("through the ring")
+	ok, err := r.TrySend(msg)
+	if err != nil || !ok {
+		t.Fatalf("TrySend: ok=%v err=%v", ok, err)
+	}
+	buf := make([]byte, 64)
+	n, ok, err := r.TryRecv(buf)
+	if err != nil || !ok || !bytes.Equal(buf[:n], msg) {
+		t.Fatalf("TryRecv: n=%d ok=%v err=%v buf=%q", n, ok, err, buf[:n])
+	}
+	// Empty now.
+	if _, ok, _ := r.TryRecv(buf); ok {
+		t.Fatal("recv from empty ring succeeded")
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	r, err := NewRing(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap() != 128 {
+		t.Fatalf("Cap = %d, want 128", r.Cap())
+	}
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	r, _ = NewRing(1)
+	if r.Cap() != 64 {
+		t.Fatalf("minimum Cap = %d, want 64", r.Cap())
+	}
+}
+
+func TestRingFullBehaviour(t *testing.T) {
+	r, _ := NewRing(64)
+	msg := make([]byte, 20)
+	sent := 0
+	for {
+		ok, err := r.TrySend(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		sent++
+	}
+	if sent < 2 {
+		t.Fatalf("only %d messages fit a 64-byte ring", sent)
+	}
+	// Draining one frees room for one.
+	buf := make([]byte, 20)
+	if _, ok, _ := r.TryRecv(buf); !ok {
+		t.Fatal("drain failed")
+	}
+	if ok, _ := r.TrySend(msg); !ok {
+		t.Fatal("send after drain failed")
+	}
+}
+
+func TestRingTooBig(t *testing.T) {
+	r, _ := NewRing(64)
+	if _, err := r.TrySend(make([]byte, 100)); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("err = %v, want ErrTooBig", err)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	// Force many wraps with messages that do not divide the capacity.
+	r, _ := NewRing(128)
+	buf := make([]byte, 64)
+	for i := 0; i < 1000; i++ {
+		msg := []byte(fmt.Sprintf("wrap-%04d-%s", i, "padddddding"[:i%11]))
+		if err := r.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		n, err := r.Recv(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf[:n], msg) {
+			t.Fatalf("iter %d: got %q want %q", i, buf[:n], msg)
+		}
+	}
+}
+
+func TestRingZeroLengthMessages(t *testing.T) {
+	r, _ := NewRing(64)
+	if ok, err := r.TrySend(nil); err != nil || !ok {
+		t.Fatalf("zero-length send: %v %v", ok, err)
+	}
+	n, ok, err := r.TryRecv(make([]byte, 4))
+	if err != nil || !ok || n != 0 {
+		t.Fatalf("zero-length recv: n=%d ok=%v err=%v", n, ok, err)
+	}
+}
+
+func TestRingClose(t *testing.T) {
+	r, _ := NewRing(64)
+	r.TrySend([]byte("last"))
+	r.Close()
+	if ok, err := r.TrySend([]byte("x")); ok || !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: ok=%v err=%v", ok, err)
+	}
+	// Drain still works after close…
+	buf := make([]byte, 8)
+	n, ok, err := r.TryRecv(buf)
+	if err != nil || !ok || string(buf[:n]) != "last" {
+		t.Fatalf("drain after close: %v %v %q", ok, err, buf[:n])
+	}
+	// …and then reports closed.
+	if _, _, err := r.TryRecv(buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv on drained closed ring: %v", err)
+	}
+}
+
+func TestRingSPSCStress(t *testing.T) {
+	r, _ := NewRing(512)
+	const msgs = 20000
+	var recvErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64)
+		for i := 0; i < msgs; i++ {
+			n, err := r.Recv(buf)
+			if err != nil {
+				recvErr = err
+				return
+			}
+			want := fmt.Sprintf("m%d", i)
+			if string(buf[:n]) != want {
+				recvErr = fmt.Errorf("message %d: got %q want %q", i, buf[:n], want)
+				return
+			}
+		}
+	}()
+	for i := 0; i < msgs; i++ {
+		if err := r.Send([]byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if recvErr != nil {
+		t.Fatal(recvErr)
+	}
+}
+
+// Property: any sequence of messages below capacity survives the ring
+// FIFO and intact, across varied sizes that exercise wrapping.
+func TestQuickRingFIFO(t *testing.T) {
+	r, _ := NewRing(4096)
+	f := func(msgs [][]byte) bool {
+		buf := make([]byte, 4096)
+		for _, m := range msgs {
+			if len(m) > 1000 {
+				m = m[:1000]
+			}
+			if err := r.Send(m); err != nil {
+				return false
+			}
+			n, err := r.Recv(buf)
+			if err != nil || n != len(m) || !bytes.Equal(buf[:n], m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRendezvousSingleCopy(t *testing.T) {
+	v := NewRendezvous()
+	got := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 32)
+		n, err := v.Recv(buf)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- string(buf[:n])
+	}()
+	if err := v.Send([]byte("direct transfer")); err != nil {
+		t.Fatal(err)
+	}
+	if s := <-got; s != "direct transfer" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestRendezvousSendBlocksUntilRecv(t *testing.T) {
+	v := NewRendezvous()
+	done := make(chan struct{})
+	go func() {
+		v.Send([]byte("x"))
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Send returned before any receiver")
+	case <-time.After(30 * time.Millisecond):
+	}
+	buf := make([]byte, 1)
+	if _, err := v.Recv(buf); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send never returned after Recv")
+	}
+}
+
+func TestRendezvousManyPairs(t *testing.T) {
+	v := NewRendezvous()
+	const pairs = 8
+	const msgsEach = 200
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	for s := 0; s < pairs; s++ {
+		wg.Add(2)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < msgsEach; i++ {
+				if err := v.Send([]byte(fmt.Sprintf("s%d-%d", id, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 32)
+			for i := 0; i < msgsEach; i++ {
+				n, err := v.Recv(buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				seen[string(buf[:n])]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != pairs*msgsEach {
+		t.Fatalf("saw %d distinct messages, want %d", len(seen), pairs*msgsEach)
+	}
+	for m, c := range seen {
+		if c != 1 {
+			t.Fatalf("message %q delivered %d times", m, c)
+		}
+	}
+}
+
+func TestRendezvousClose(t *testing.T) {
+	v := NewRendezvous()
+	errs := make(chan error, 2)
+	go func() { errs <- v.Send([]byte("x")) }()
+	go func() {
+		_, err := v.Recv(make([]byte, 1))
+		// This receiver may pair with the sender above or see the
+		// close; both are valid.
+		if err != nil && !errors.Is(err, ErrClosed) {
+			errs <- err
+			return
+		}
+		errs <- nil
+	}()
+	time.Sleep(20 * time.Millisecond)
+	v.Close()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Send([]byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	if _, err := v.Recv(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv after close: %v", err)
+	}
+}
+
+func TestRendezvousTruncation(t *testing.T) {
+	v := NewRendezvous()
+	go v.Send([]byte("0123456789"))
+	buf := make([]byte, 4)
+	n, err := v.Recv(buf)
+	if err != nil || n != 4 || string(buf) != "0123" {
+		t.Fatalf("n=%d err=%v buf=%q", n, err, buf)
+	}
+}

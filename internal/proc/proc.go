@@ -1,0 +1,100 @@
+// Package proc provides the parallel process abstraction MPF programs run
+// under.
+//
+// In the paper, "parallel programs consist of a group of Unix processes
+// that interact using LNVC's"; the processes are forked, numbered, and
+// share the mapped MPF region. Here a process is a goroutine with a small
+// integer id. The package supplies group spawn/join, a reusable barrier
+// (the applications need one between phases), and panic containment so a
+// failing worker surfaces as an error instead of tearing the test binary
+// down.
+package proc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group runs a fixed-size set of numbered processes.
+type Group struct {
+	n int
+}
+
+// NewGroup creates a group of n processes (ids 0..n-1).
+func NewGroup(n int) (*Group, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("proc: group size %d", n)
+	}
+	return &Group{n: n}, nil
+}
+
+// N returns the group size.
+func (g *Group) N() int { return g.n }
+
+// Run starts one goroutine per process id and waits for all of them. The
+// returned error is the first non-nil error by process id order; a panic
+// in a worker is recovered and reported as an error.
+func (g *Group) Run(body func(pid int) error) error {
+	errs := make([]error, g.n)
+	var wg sync.WaitGroup
+	for pid := 0; pid < g.n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[pid] = fmt.Errorf("proc: process %d panicked: %v", pid, r)
+				}
+			}()
+			errs[pid] = body(pid)
+		}(pid)
+	}
+	wg.Wait()
+	for pid, err := range errs {
+		if err != nil {
+			return fmt.Errorf("process %d: %w", pid, err)
+		}
+	}
+	return nil
+}
+
+// Barrier is a reusable synchronization barrier for a fixed party count,
+// the shared-memory primitive the SOR solver's iteration structure
+// assumes. The zero value is not usable; call NewBarrier.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+}
+
+// NewBarrier creates a barrier for the given number of parties.
+func NewBarrier(parties int) (*Barrier, error) {
+	if parties <= 0 {
+		return nil, fmt.Errorf("proc: barrier of %d parties", parties)
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b, nil
+}
+
+// Wait blocks until all parties have called Wait, then releases them all.
+// It returns the phase number that just completed, so callers can detect
+// missed phases in tests.
+func (b *Barrier) Wait() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		return phase
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	return phase
+}

@@ -1,0 +1,113 @@
+package proc
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupRunsAllPIDs(t *testing.T) {
+	g, err := NewGroup(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen [8]atomic.Bool
+	if err := g.Run(func(pid int) error {
+		if seen[pid].Swap(true) {
+			return errors.New("pid run twice")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for pid := range seen {
+		if !seen[pid].Load() {
+			t.Fatalf("pid %d never ran", pid)
+		}
+	}
+}
+
+func TestGroupReportsFirstError(t *testing.T) {
+	g, _ := NewGroup(4)
+	sentinel := errors.New("boom")
+	err := g.Run(func(pid int) error {
+		if pid >= 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGroupRecoversPanic(t *testing.T) {
+	g, _ := NewGroup(3)
+	err := g.Run(func(pid int) error {
+		if pid == 1 {
+			panic("worker exploded")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestGroupRejectsBadSize(t *testing.T) {
+	if _, err := NewGroup(0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := NewGroup(-3); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const parties, rounds = 6, 50
+	b, err := NewBarrier(parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counter atomic.Int64
+	g, _ := NewGroup(parties)
+	if err := g.Run(func(pid int) error {
+		for r := 0; r < rounds; r++ {
+			counter.Add(1)
+			b.Wait()
+			// Between two barrier crossings, the counter must be an
+			// exact multiple of parties for this round.
+			if got := counter.Load(); got < int64((r+1)*parties) {
+				return errors.New("barrier released before all parties arrived")
+			}
+			b.Wait()
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter.Load(); got != parties*rounds {
+		t.Fatalf("counter = %d, want %d", got, parties*rounds)
+	}
+}
+
+func TestBarrierPhaseNumbers(t *testing.T) {
+	b, _ := NewBarrier(2)
+	g, _ := NewGroup(2)
+	if err := g.Run(func(pid int) error {
+		for r := uint64(0); r < 10; r++ {
+			if phase := b.Wait(); phase != r {
+				return errors.New("phase mismatch")
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierRejectsBadParties(t *testing.T) {
+	if _, err := NewBarrier(0); err == nil {
+		t.Fatal("0 parties accepted")
+	}
+}

@@ -1,0 +1,438 @@
+// Package shm implements the shared-memory region that backs MPF.
+//
+// The original MPF mapped a region of physical memory into the virtual
+// address space of every Unix process in the program and carved it into a
+// free list of fixed-size message blocks at init time; all message payload
+// flowed through those blocks. Goroutines share a heap, so a mapped region
+// is not *needed* for correctness — but the region is load-bearing for the
+// paper's performance story (Figure 3's asymptote is a copy-cost asymptote,
+// and the per-block overhead of the linked free list is why small blocks
+// hurt). This package therefore reproduces the layout faithfully:
+//
+//   - one contiguous byte arena, sized at Init from maxLNVCs/maxProcesses;
+//   - fixed-size blocks addressed by int32 *offsets* (the portable stand-in
+//     for pointers into a mapped region — offsets survive being mapped at
+//     different addresses in different processes, which is exactly why the
+//     original used them);
+//   - a lock-protected singly-linked free list threaded through the blocks
+//     themselves, with the link word stored in the block's first 4 bytes
+//     when free.
+//
+// The arena is safe for concurrent use.
+package shm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/spinlock"
+)
+
+// NilOffset is the arena's nil pointer. Offset 0 is deliberately burned
+// (the first block starts at blockSize) so that the zero value of an
+// offset-valued field is unmistakably invalid, the same trick the original
+// played by reserving the region's first word.
+const NilOffset int32 = 0
+
+// ErrOutOfBlocks is returned by Alloc when the free list is empty and the
+// arena was created with a fixed size (the paper's configuration).
+var ErrOutOfBlocks = errors.New("shm: out of message blocks")
+
+// MinBlockSize is the smallest usable block: the free-list link word plus
+// at least one payload byte. The paper ran with 10-byte blocks, which this
+// bound admits.
+const MinBlockSize = 5
+
+// Arena is a shared region divided into fixed-size blocks.
+type Arena struct {
+	mem       []byte
+	blockSize int32
+	nBlocks   int32
+
+	mu       spinlock.TAS
+	freeHead int32 // offset of first free block, NilOffset if none
+	nFree    int32
+
+	// waiters is the number of goroutines blocked in AllocWait; guarded
+	// by mu, signalled via cond.
+	cond    condSignal
+	waiters int32
+
+	stats Stats
+}
+
+// condSignal is a tiny condition variable over the arena spinlock. A full
+// sync.Cond would also work; this variant exists so the arena has no
+// dependency on sync and so tests can count wakeups.
+type condSignal struct {
+	ch chan struct{}
+}
+
+func (c *condSignal) init() { c.ch = make(chan struct{}) }
+
+// Stats counts allocator activity. Read it via Arena.Stats.
+type Stats struct {
+	Allocs      uint64 // successful block allocations
+	Frees       uint64 // blocks returned
+	AllocFails  uint64 // Alloc calls that found the free list empty
+	AllocBlocks uint64 // blocked AllocWait episodes
+	HighWater   int32  // maximum simultaneously-allocated blocks
+}
+
+// Config sizes an Arena.
+type Config struct {
+	// BlockSize is the size of each block in bytes, including the 4-byte
+	// link word. The paper's experiments used 10.
+	BlockSize int
+	// NumBlocks is the number of blocks in the region.
+	NumBlocks int
+}
+
+// SizeFor estimates the arena configuration for a facility with the given
+// limits, mirroring the paper's init(maxLNVCs, maxProcesses) sizing rule:
+// enough blocks for every process to have several maximum-size messages in
+// flight on every LNVC it plausibly uses.
+func SizeFor(maxLNVCs, maxProcs, blockSize, msgBlocksPerProc int) Config {
+	if blockSize < MinBlockSize {
+		blockSize = MinBlockSize
+	}
+	if msgBlocksPerProc <= 0 {
+		msgBlocksPerProc = 64
+	}
+	n := maxProcs * msgBlocksPerProc
+	if min := 4 * maxLNVCs; n < min {
+		n = min
+	}
+	if n < 64 {
+		n = 64
+	}
+	return Config{BlockSize: blockSize, NumBlocks: n}
+}
+
+// New creates an arena with the given configuration.
+func New(cfg Config) (*Arena, error) {
+	if cfg.BlockSize < MinBlockSize {
+		return nil, fmt.Errorf("shm: block size %d below minimum %d", cfg.BlockSize, MinBlockSize)
+	}
+	if cfg.NumBlocks < 1 {
+		return nil, fmt.Errorf("shm: need at least 1 block, got %d", cfg.NumBlocks)
+	}
+	total := int64(cfg.BlockSize) * int64(cfg.NumBlocks+1) // +1 burns offset 0
+	if total > 1<<31-1 {
+		return nil, fmt.Errorf("shm: region of %d bytes exceeds 2 GiB offset space", total)
+	}
+	a := &Arena{
+		mem:       make([]byte, total),
+		blockSize: int32(cfg.BlockSize),
+		nBlocks:   int32(cfg.NumBlocks),
+	}
+	a.cond.init()
+	// Thread the free list through the blocks, first block at offset
+	// blockSize (offset 0 is reserved as NilOffset).
+	a.freeHead = a.blockSize
+	for i := int32(0); i < a.nBlocks; i++ {
+		off := (i + 1) * a.blockSize
+		next := off + a.blockSize
+		if i == a.nBlocks-1 {
+			next = NilOffset
+		}
+		a.setLink(off, next)
+	}
+	a.nFree = a.nBlocks
+	return a, nil
+}
+
+// BlockSize returns the configured block size including the link word.
+func (a *Arena) BlockSize() int { return int(a.blockSize) }
+
+// PayloadSize returns the usable payload bytes per block.
+func (a *Arena) PayloadSize() int { return int(a.blockSize) - 4 }
+
+// NumBlocks returns the total number of blocks in the region.
+func (a *Arena) NumBlocks() int { return int(a.nBlocks) }
+
+// FreeBlocks returns the current number of free blocks.
+func (a *Arena) FreeBlocks() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int(a.nFree)
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (a *Arena) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+func (a *Arena) setLink(off, next int32) {
+	binary.LittleEndian.PutUint32(a.mem[off:off+4], uint32(next))
+}
+
+func (a *Arena) link(off int32) int32 {
+	return int32(binary.LittleEndian.Uint32(a.mem[off : off+4]))
+}
+
+// Alloc pops one block off the free list. It returns ErrOutOfBlocks when
+// the region is exhausted.
+func (a *Arena) Alloc() (int32, error) {
+	a.mu.Lock()
+	off, err := a.allocLocked()
+	a.mu.Unlock()
+	return off, err
+}
+
+func (a *Arena) allocLocked() (int32, error) {
+	if a.freeHead == NilOffset {
+		a.stats.AllocFails++
+		return NilOffset, ErrOutOfBlocks
+	}
+	off := a.freeHead
+	a.freeHead = a.link(off)
+	a.nFree--
+	a.stats.Allocs++
+	if used := a.nBlocks - a.nFree; used > a.stats.HighWater {
+		a.stats.HighWater = used
+	}
+	return off, nil
+}
+
+// AllocWait pops one block, blocking until one is available. It is the
+// default message_send policy: the paper's region is fixed-size, so a
+// sender that outruns its receivers must wait for blocks to be recycled.
+// The stop channel aborts the wait (used at facility shutdown); a nil stop
+// never aborts.
+func (a *Arena) AllocWait(stop <-chan struct{}) (int32, error) {
+	for {
+		a.mu.Lock()
+		off, err := a.allocLocked()
+		if err == nil {
+			a.mu.Unlock()
+			return off, nil
+		}
+		a.stats.AllocBlocks++
+		a.waiters++
+		ch := a.cond.ch
+		a.mu.Unlock()
+		select {
+		case <-ch:
+			// A free arrived (or a broadcast); retry.
+		case <-stop:
+			a.mu.Lock()
+			a.waiters--
+			a.mu.Unlock()
+			return NilOffset, ErrOutOfBlocks
+		}
+	}
+}
+
+// AllocChain allocates n blocks linked head→…→tail via their link words,
+// returning the head offset. On failure nothing is leaked. wait selects
+// between Alloc and AllocWait semantics.
+func (a *Arena) AllocChain(n int, wait bool, stop <-chan struct{}) (int32, error) {
+	if n <= 0 {
+		return NilOffset, fmt.Errorf("shm: AllocChain of %d blocks", n)
+	}
+	var head, tail int32 = NilOffset, NilOffset
+	for i := 0; i < n; i++ {
+		var off int32
+		var err error
+		if wait {
+			off, err = a.AllocWait(stop)
+		} else {
+			off, err = a.Alloc()
+		}
+		if err != nil {
+			if head != NilOffset {
+				a.FreeChain(head)
+			}
+			return NilOffset, err
+		}
+		a.setLink(off, NilOffset)
+		if head == NilOffset {
+			head = off
+		} else {
+			a.setLink(tail, off)
+		}
+		tail = off
+	}
+	return head, nil
+}
+
+// Free returns one block to the free list.
+func (a *Arena) Free(off int32) {
+	a.checkOffset(off)
+	a.mu.Lock()
+	a.setLink(off, a.freeHead)
+	a.freeHead = off
+	a.nFree++
+	a.stats.Frees++
+	wake := a.waiters > 0
+	if wake {
+		a.waiters = 0
+		old := a.cond.ch
+		a.cond.ch = make(chan struct{})
+		a.mu.Unlock()
+		close(old)
+		return
+	}
+	a.mu.Unlock()
+}
+
+// FreeChain returns a linked chain of blocks (as built by AllocChain or by
+// message assembly) to the free list in one lock acquisition.
+func (a *Arena) FreeChain(head int32) {
+	if head == NilOffset {
+		return
+	}
+	a.checkOffset(head)
+	// Find the tail and count, outside the lock: link words of blocks
+	// being freed are owned by the caller until the splice below.
+	n := int32(1)
+	tail := head
+	for {
+		next := a.link(tail)
+		if next == NilOffset {
+			break
+		}
+		a.checkOffset(next)
+		tail = next
+		n++
+	}
+	a.mu.Lock()
+	a.setLink(tail, a.freeHead)
+	a.freeHead = head
+	a.nFree += n
+	a.stats.Frees += uint64(n)
+	wake := a.waiters > 0
+	if wake {
+		a.waiters = 0
+		old := a.cond.ch
+		a.cond.ch = make(chan struct{})
+		a.mu.Unlock()
+		close(old)
+		return
+	}
+	a.mu.Unlock()
+}
+
+// Next returns the block following off in a chain, or NilOffset.
+func (a *Arena) Next(off int32) int32 {
+	a.checkOffset(off)
+	return a.link(off)
+}
+
+// SetNext links block off to next (next may be NilOffset).
+func (a *Arena) SetNext(off, next int32) {
+	a.checkOffset(off)
+	if next != NilOffset {
+		a.checkOffset(next)
+	}
+	a.setLink(off, next)
+}
+
+// Payload returns the payload bytes of the block at off. The returned
+// slice aliases the arena; the caller owns the block.
+func (a *Arena) Payload(off int32) []byte {
+	a.checkOffset(off)
+	return a.mem[off+4 : off+a.blockSize]
+}
+
+// checkOffset panics if off is not a valid block offset. Offset bugs in a
+// shared region are memory corruption; failing loudly is the only sane
+// policy.
+func (a *Arena) checkOffset(off int32) {
+	if off < a.blockSize || off >= int32(len(a.mem)) || off%a.blockSize != 0 {
+		panic(fmt.Sprintf("shm: invalid block offset %d (block size %d, region %d)", off, a.blockSize, len(a.mem)))
+	}
+}
+
+// BlocksFor returns the number of blocks needed to hold n payload bytes.
+// Zero-length messages still occupy one block so that the message exists
+// in the FIFO.
+func (a *Arena) BlocksFor(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	p := a.PayloadSize()
+	return (n + p - 1) / p
+}
+
+// WriteChain copies buf into the chain starting at head, returning the
+// number of bytes written. The chain must have at least BlocksFor(len(buf))
+// blocks.
+func (a *Arena) WriteChain(head int32, buf []byte) int {
+	written := 0
+	off := head
+	for written < len(buf) {
+		if off == NilOffset {
+			panic("shm: WriteChain ran out of blocks")
+		}
+		n := copy(a.Payload(off), buf[written:])
+		written += n
+		off = a.Next(off)
+	}
+	return written
+}
+
+// ReadChain copies length bytes from the chain starting at head into buf,
+// returning the number of bytes copied (min of length and len(buf)).
+func (a *Arena) ReadChain(head int32, length int, buf []byte) int {
+	want := length
+	if want > len(buf) {
+		want = len(buf)
+	}
+	read := 0
+	off := head
+	for read < want {
+		if off == NilOffset {
+			panic("shm: ReadChain ran out of blocks")
+		}
+		p := a.Payload(off)
+		remain := want - read
+		if remain < len(p) {
+			p = p[:remain]
+		}
+		read += copy(buf[read:], p)
+		off = a.Next(off)
+	}
+	return read
+}
+
+// ChainLen walks a chain and returns its block count. Intended for tests
+// and invariant checks.
+func (a *Arena) ChainLen(head int32) int {
+	n := 0
+	for off := head; off != NilOffset; off = a.Next(off) {
+		n++
+	}
+	return n
+}
+
+// CheckFreeList verifies free-list integrity: every free block is a valid
+// offset, no block appears twice, and the count matches nFree. It is an
+// O(nBlocks) diagnostic for tests.
+func (a *Arena) CheckFreeList() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := make(map[int32]bool, a.nFree)
+	n := int32(0)
+	for off := a.freeHead; off != NilOffset; off = a.link(off) {
+		if off < a.blockSize || off >= int32(len(a.mem)) || off%a.blockSize != 0 {
+			return fmt.Errorf("shm: free list contains invalid offset %d", off)
+		}
+		if seen[off] {
+			return fmt.Errorf("shm: free list cycle at offset %d", off)
+		}
+		seen[off] = true
+		n++
+		if n > a.nBlocks {
+			return fmt.Errorf("shm: free list longer than region (%d blocks)", n)
+		}
+	}
+	if n != a.nFree {
+		return fmt.Errorf("shm: free list has %d blocks, counter says %d", n, a.nFree)
+	}
+	return nil
+}

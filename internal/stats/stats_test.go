@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 30)
+	s.Add(4, 20)
+	if y, ok := s.Y(2); !ok || y != 30 {
+		t.Fatalf("Y(2) = %v,%v", y, ok)
+	}
+	if _, ok := s.Y(3); ok {
+		t.Fatal("Y(3) exists")
+	}
+	if s.Max() != 30 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	if s.ArgMax() != 2 {
+		t.Fatalf("ArgMax = %v", s.ArgMax())
+	}
+	if s.Monotone() {
+		t.Fatal("non-monotone series reported monotone")
+	}
+	var m Series
+	m.Add(4, 3)
+	m.Add(1, 1)
+	m.Add(2, 2) // out of order on X; Monotone must sort
+	if !m.Monotone() {
+		t.Fatal("monotone series reported non-monotone")
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	if s.Max() != 0 || s.ArgMax() != 0 {
+		t.Fatal("empty series extremes wrong")
+	}
+	if !s.Monotone() {
+		t.Fatal("empty series not monotone")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := NewFigure("Figure 3: Base Benchmark", "Length", "bytes/sec")
+	s1 := f.AddSeries("16 byte")
+	s1.Add(16, 1000)
+	s1.Add(128, 8000)
+	s2 := f.AddSeries("128 byte")
+	s2.Add(128, 9000)
+	out := f.Render()
+	for _, want := range []string{"Figure 3", "16 byte", "128 byte", "1000", "9000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Missing cell rendered as "-": s2 has no point at x=16.
+	lines := strings.Split(out, "\n")
+	var row16 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "16 ") {
+			row16 = l
+		}
+	}
+	if !strings.Contains(row16, "-") {
+		t.Errorf("missing cell not rendered as dash: %q", row16)
+	}
+	if f.Get("16 byte") != s1 || f.Get("none") != nil {
+		t.Fatal("Get wrong")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	times := &Series{Label: "t"}
+	times.Add(2, 100) // baseline: 4 processes = N of 2
+	times.Add(3, 60)
+	times.Add(4, 50)
+	sp, err := Speedup(times, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y, _ := sp.Y(2); y != 1 {
+		t.Fatalf("baseline speedup = %v, want 1", y)
+	}
+	if y, _ := sp.Y(4); y != 2 {
+		t.Fatalf("speedup(4) = %v, want 2", y)
+	}
+	if _, err := Speedup(times, 9, 1); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	bad := &Series{}
+	bad.Add(1, 0)
+	if _, err := Speedup(bad, 1, 1); err == nil {
+		t.Fatal("zero baseline accepted")
+	}
+}
+
+func TestSpeedupVs(t *testing.T) {
+	times := &Series{}
+	times.Add(1, 100)
+	times.Add(4, 25)
+	sp, err := SpeedupVs(times, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y, _ := sp.Y(4); y != 4 {
+		t.Fatalf("speedup = %v, want 4", y)
+	}
+	if _, err := SpeedupVs(times, 0); err == nil {
+		t.Fatal("zero seq time accepted")
+	}
+	neg := &Series{}
+	neg.Add(1, -5)
+	if _, err := SpeedupVs(neg, 10); err == nil {
+		t.Fatal("negative time accepted")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty input")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("Median even = %v", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, 2); got != 500 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if got := Throughput(1000, 0); got != 0 {
+		t.Fatal("zero time must yield 0")
+	}
+}
+
+// Property: median lies between min and max; mean as well.
+func TestQuickMeanMedianBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			// Reject values whose sum could overflow; Mean makes no
+			// promises under float64 overflow.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e300 {
+				return true
+			}
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		m, med := Mean(xs), Median(xs)
+		const eps = 1e-9
+		return m >= lo-eps-math.Abs(lo) && m <= hi+eps+math.Abs(hi) && med >= lo && med <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Speedup of the baseline point is always scale.
+func TestQuickSpeedupBaseline(t *testing.T) {
+	f := func(ys []float64, scaleRaw uint8) bool {
+		scale := float64(scaleRaw%10) + 0.5
+		s := &Series{}
+		for i, y := range ys {
+			s.Add(i, math.Abs(y)+1) // positive times
+		}
+		if len(s.Points) == 0 {
+			return true
+		}
+		sp, err := Speedup(s, 0, scale)
+		if err != nil {
+			return false
+		}
+		y, ok := sp.Y(0)
+		return ok && math.Abs(y-scale) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCollectorRecordsAndCounts(t *testing.T) {
+	c := NewCollector(0)
+	c.Trace(core.Event{Op: core.OpSend, PID: 1, Bytes: 10})
+	c.Trace(core.Event{Op: core.OpSend, PID: 2, Bytes: 20})
+	c.Trace(core.Event{Op: core.OpReceive, PID: 3, Bytes: 30})
+	c.Trace(core.Event{Op: core.OpReceive, PID: 3, Err: errors.New("x")})
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	byOp := c.CountByOp()
+	if byOp[core.OpSend] != 2 || byOp[core.OpReceive] != 2 {
+		t.Fatalf("CountByOp = %v", byOp)
+	}
+	bytesBy := c.BytesByOp()
+	if bytesBy[core.OpSend] != 30 || bytesBy[core.OpReceive] != 30 {
+		t.Fatalf("BytesByOp = %v (errored event must not count)", bytesBy)
+	}
+	if len(c.Errors()) != 1 {
+		t.Fatalf("Errors = %v", c.Errors())
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestCollectorCap(t *testing.T) {
+	c := NewCollector(2)
+	for i := 0; i < 5; i++ {
+		c.Trace(core.Event{Op: core.OpSend})
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want cap 2", c.Len())
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Trace(core.Event{Op: core.OpCheckReceive})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 4000 {
+		t.Fatalf("Len = %d, want 4000", c.Len())
+	}
+}
+
+func TestWriterFormats(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Trace(core.Event{Op: core.OpOpenSend, PID: 1, LNVC: 2, Name: "pipe"})
+	w.Trace(core.Event{Op: core.OpSend, PID: 1, LNVC: 2, Bytes: 128})
+	w.Trace(core.Event{Op: core.OpCloseSend, PID: 1, LNVC: 2})
+	w.Trace(core.Event{Op: core.OpSend, PID: 1, LNVC: 2, Err: errors.New("bad")})
+	out := buf.String()
+	for _, want := range []string{`name="pipe"`, "128 bytes", "close_send", "ERR bad"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if w.Failures() != 0 {
+		t.Fatalf("Failures = %d", w.Failures())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriterCountsFailures(t *testing.T) {
+	w := NewWriter(failWriter{})
+	w.Trace(core.Event{Op: core.OpSend})
+	if w.Failures() != 1 {
+		t.Fatalf("Failures = %d", w.Failures())
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewCollector(0), NewCollector(0)
+	m := Multi(a, b)
+	m.Trace(core.Event{Op: core.OpSend})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out failed: %d/%d", a.Len(), b.Len())
+	}
+}
+
+func TestEndToEndWithFacility(t *testing.T) {
+	c := NewCollector(0)
+	f, err := core.Init(core.Config{MaxProcesses: 2, Tracer: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	sid, _ := f.OpenSend(0, "t")
+	rid, _ := f.OpenReceive(1, "t", core.FCFS)
+	f.Send(0, sid, []byte("abc"))
+	f.Receive(1, rid, make([]byte, 3))
+	byOp := c.CountByOp()
+	if byOp[core.OpOpenSend] != 1 || byOp[core.OpSend] != 1 || byOp[core.OpReceive] != 1 {
+		t.Fatalf("CountByOp = %v", byOp)
+	}
+	if c.BytesByOp()[core.OpSend] != 3 {
+		t.Fatalf("send bytes = %d", c.BytesByOp()[core.OpSend])
+	}
+}

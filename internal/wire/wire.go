@@ -1,0 +1,98 @@
+// Package wire provides the tiny binary message encodings the example
+// applications put on LNVCs. MPF, like the paper's C version, transfers
+// untyped byte buffers; applications impose structure. All encodings are
+// little-endian and fixed-width.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Float64Size is the encoded size of one float64.
+const Float64Size = 8
+
+// Uint32Size is the encoded size of one uint32.
+const Uint32Size = 4
+
+// AppendUint32 appends v to dst.
+func AppendUint32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+// Uint32 decodes a uint32 from b, returning the value and the rest.
+func Uint32(b []byte) (uint32, []byte, error) {
+	if len(b) < Uint32Size {
+		return 0, nil, fmt.Errorf("wire: short buffer for uint32: %d bytes", len(b))
+	}
+	return binary.LittleEndian.Uint32(b), b[Uint32Size:], nil
+}
+
+// AppendFloat64 appends v to dst.
+func AppendFloat64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// Float64 decodes a float64 from b, returning the value and the rest.
+func Float64(b []byte) (float64, []byte, error) {
+	if len(b) < Float64Size {
+		return 0, nil, fmt.Errorf("wire: short buffer for float64: %d bytes", len(b))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[Float64Size:], nil
+}
+
+// AppendFloat64s appends all of vs to dst.
+func AppendFloat64s(dst []byte, vs []float64) []byte {
+	for _, v := range vs {
+		dst = AppendFloat64(dst, v)
+	}
+	return dst
+}
+
+// Float64s decodes n float64s from b into out (which must have length n),
+// returning the rest.
+func Float64s(b []byte, out []float64) ([]byte, error) {
+	need := len(out) * Float64Size
+	if len(b) < need {
+		return nil, fmt.Errorf("wire: short buffer for %d float64s: %d bytes", len(out), len(b))
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*Float64Size:]))
+	}
+	return b[need:], nil
+}
+
+// PivotCand is a worker's pivot candidate in the Gauss-Jordan solver:
+// its best |value| and the owning global row.
+type PivotCand struct {
+	Worker uint32
+	Row    uint32
+	Value  float64
+}
+
+// PivotCandSize is the encoded size of a PivotCand.
+const PivotCandSize = 2*Uint32Size + Float64Size
+
+// Encode appends the candidate to dst.
+func (c PivotCand) Encode(dst []byte) []byte {
+	dst = AppendUint32(dst, c.Worker)
+	dst = AppendUint32(dst, c.Row)
+	return AppendFloat64(dst, c.Value)
+}
+
+// DecodePivotCand decodes a candidate from b.
+func DecodePivotCand(b []byte) (PivotCand, error) {
+	var c PivotCand
+	var err error
+	if c.Worker, b, err = Uint32(b); err != nil {
+		return c, err
+	}
+	if c.Row, b, err = Uint32(b); err != nil {
+		return c, err
+	}
+	if c.Value, _, err = Float64(b); err != nil {
+		return c, err
+	}
+	return c, nil
+}

@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint32Roundtrip(t *testing.T) {
+	b := AppendUint32(nil, 0xDEADBEEF)
+	v, rest, err := Uint32(b)
+	if err != nil || v != 0xDEADBEEF || len(rest) != 0 {
+		t.Fatalf("v=%x rest=%v err=%v", v, rest, err)
+	}
+	if _, _, err := Uint32([]byte{1, 2}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestFloat64Roundtrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -math.Pi, math.Inf(1), math.SmallestNonzeroFloat64} {
+		b := AppendFloat64(nil, v)
+		got, rest, err := Float64(b)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("v=%v got=%v err=%v", v, got, err)
+		}
+	}
+	// NaN roundtrips bit-exactly.
+	b := AppendFloat64(nil, math.NaN())
+	got, _, _ := Float64(b)
+	if !math.IsNaN(got) {
+		t.Fatal("NaN lost")
+	}
+	if _, _, err := Float64([]byte{1}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestFloat64sRoundtrip(t *testing.T) {
+	in := []float64{1, 2.5, -3, 1e-300}
+	b := AppendFloat64s(nil, in)
+	if len(b) != len(in)*Float64Size {
+		t.Fatalf("encoded %d bytes", len(b))
+	}
+	out := make([]float64, 4)
+	rest, err := Float64s(b, out)
+	if err != nil || len(rest) != 0 {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("out[%d] = %v", i, out[i])
+		}
+	}
+	if _, err := Float64s(b[:10], out); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestSequentialDecode(t *testing.T) {
+	// Mixed encode/decode stream.
+	b := AppendUint32(nil, 7)
+	b = AppendFloat64(b, 2.25)
+	b = AppendUint32(b, 9)
+	u1, b2, err := Uint32(b)
+	if err != nil || u1 != 7 {
+		t.Fatal(err)
+	}
+	f, b3, err := Float64(b2)
+	if err != nil || f != 2.25 {
+		t.Fatal(err)
+	}
+	u2, rest, err := Uint32(b3)
+	if err != nil || u2 != 9 || len(rest) != 0 {
+		t.Fatal(err)
+	}
+}
+
+func TestPivotCandRoundtrip(t *testing.T) {
+	c := PivotCand{Worker: 3, Row: 91, Value: -42.5}
+	b := c.Encode(nil)
+	if len(b) != PivotCandSize {
+		t.Fatalf("encoded %d bytes, want %d", len(b), PivotCandSize)
+	}
+	got, err := DecodePivotCand(b)
+	if err != nil || got != c {
+		t.Fatalf("got %+v err=%v", got, err)
+	}
+	for cut := 0; cut < PivotCandSize; cut++ {
+		if _, err := DecodePivotCand(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestQuickFloat64sRoundtrip(t *testing.T) {
+	f := func(in []float64) bool {
+		b := AppendFloat64s(nil, in)
+		out := make([]float64, len(in))
+		if _, err := Float64s(b, out); err != nil {
+			return false
+		}
+		for i := range in {
+			// Bit-exact comparison (NaN-safe).
+			if math.Float64bits(in[i]) != math.Float64bits(out[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPivotCandRoundtrip(t *testing.T) {
+	f := func(w, r uint32, v float64) bool {
+		c := PivotCand{Worker: w, Row: r, Value: v}
+		got, err := DecodePivotCand(c.Encode(nil))
+		if err != nil {
+			return false
+		}
+		return got.Worker == w && got.Row == r &&
+			math.Float64bits(got.Value) == math.Float64bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

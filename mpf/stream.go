@@ -1,0 +1,124 @@
+package mpf
+
+import (
+	"fmt"
+	"io"
+)
+
+// Stream adapters: LNVCs carry discrete messages (as in the paper), but
+// pipeline-style programs often want a byte-stream view. Writer frames a
+// byte stream into messages on a send connection; Reader reassembles it
+// on a receive connection. The framing reserves the zero-length message
+// as the end-of-stream marker, so user data written through a Writer is
+// delivered intact for any chunking.
+//
+// A Reader over an FCFS connection on a circuit with a single writer
+// yields exactly the written byte sequence; multiple FCFS readers
+// partition the stream at message granularity (a work-sharing byte
+// sink), and Broadcast readers each see the full stream.
+
+// DefaultChunk is Writer's default message size.
+const DefaultChunk = 4096
+
+// Writer adapts a send connection to io.WriteCloser.
+type Writer struct {
+	s     *SendConn
+	chunk int
+	err   error
+}
+
+// NewWriter creates a stream writer over s. chunk bounds the message
+// size (DefaultChunk if <= 0).
+func NewWriter(s *SendConn, chunk int) *Writer {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	return &Writer{s: s, chunk: chunk}
+}
+
+// Write sends p as one or more messages. It never sends a zero-length
+// message (that is the EOF marker); an empty p is a no-op.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	written := 0
+	for written < len(p) {
+		end := written + w.chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		if err := w.s.Send(p[written:end]); err != nil {
+			w.err = err
+			return written, err
+		}
+		written = end
+	}
+	return written, nil
+}
+
+// Close sends the end-of-stream marker. The underlying connection stays
+// open (close it separately once the peer has drained — see the package
+// note on circuit lifetime).
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.s.Send(nil); err != nil {
+		w.err = err
+		return err
+	}
+	w.err = io.ErrClosedPipe // further writes fail
+	return nil
+}
+
+// Reader adapts a receive connection to io.Reader.
+type Reader struct {
+	r   *RecvConn
+	buf []byte
+	pos int
+	n   int
+	eof bool
+	err error
+}
+
+// NewReader creates a stream reader over r. maxMsg must be at least the
+// largest message the writer sends (Writer's chunk size); messages are
+// truncated to it otherwise, corrupting the stream.
+func NewReader(r *RecvConn, maxMsg int) *Reader {
+	if maxMsg <= 0 {
+		maxMsg = DefaultChunk
+	}
+	return &Reader{r: r, buf: make([]byte, maxMsg)}
+}
+
+// Read fills p from the message stream, blocking for the next message
+// when its buffer is drained. A zero-length message yields io.EOF.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	for r.pos == r.n {
+		if r.eof {
+			r.err = io.EOF
+			return 0, io.EOF
+		}
+		n, err := r.r.Receive(r.buf)
+		if err != nil {
+			r.err = fmt.Errorf("mpf: stream read: %w", err)
+			return 0, r.err
+		}
+		if n == 0 {
+			r.eof = true
+			r.err = io.EOF
+			return 0, io.EOF
+		}
+		r.pos, r.n = 0, n
+	}
+	c := copy(p, r.buf[r.pos:r.n])
+	r.pos += c
+	return c, nil
+}

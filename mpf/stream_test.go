@@ -1,0 +1,246 @@
+package mpf_test
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/mpf"
+)
+
+// pipePair builds a connected Writer/Reader over one circuit.
+func pipePair(t *testing.T, chunk int) (*mpf.Writer, *mpf.Reader) {
+	t.Helper()
+	f := newFac(t, mpf.WithMaxProcesses(2), mpf.WithBlocksPerProcess(4096))
+	p0, _ := f.Process(0)
+	p1, _ := f.Process(1)
+	s, err := p0.OpenSend("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p1.OpenReceive("stream", mpf.FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mpf.NewWriter(s, chunk), mpf.NewReader(r, chunk)
+}
+
+func TestStreamRoundtrip(t *testing.T) {
+	w, r := pipePair(t, 64)
+	payload := make([]byte, 10_000)
+	rand.New(rand.NewSource(1)).Read(payload)
+
+	done := make(chan error, 1)
+	var got bytes.Buffer
+	go func() {
+		_, err := io.Copy(&got, r)
+		done <- err
+	}()
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatal("stream corrupted")
+	}
+}
+
+func TestStreamManySmallWrites(t *testing.T) {
+	w, r := pipePair(t, 8)
+	var want bytes.Buffer
+	done := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	for i := 0; i < 200; i++ {
+		chunk := []byte{byte(i), byte(i + 1), byte(i + 2)}
+		want.Write(chunk)
+		if _, err := w.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	if got := <-done; !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("small-write stream corrupted")
+	}
+}
+
+func TestStreamEmptyWriteIsNoOp(t *testing.T) {
+	w, r := pipePair(t, 16)
+	if n, err := w.Write(nil); n != 0 || err != nil {
+		t.Fatalf("empty write: n=%d err=%v", n, err)
+	}
+	go func() {
+		w.Write([]byte("x"))
+		w.Close()
+	}()
+	b, err := io.ReadAll(r)
+	if err != nil || string(b) != "x" {
+		t.Fatalf("got %q err=%v (empty write must not inject EOF)", b, err)
+	}
+}
+
+func TestStreamWriteAfterClose(t *testing.T) {
+	w, r := pipePair(t, 16)
+	go io.Copy(io.Discard, r)
+	w.Close()
+	if _, err := w.Write([]byte("late")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("double close succeeded")
+	}
+}
+
+func TestStreamReadAfterEOF(t *testing.T) {
+	w, r := pipePair(t, 16)
+	go func() {
+		w.Write([]byte("ab"))
+		w.Close()
+	}()
+	b, err := io.ReadAll(r)
+	if err != nil || string(b) != "ab" {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, io.EOF) {
+		t.Fatalf("read after EOF: %v", err)
+	}
+}
+
+func TestStreamWithBufio(t *testing.T) {
+	w, r := pipePair(t, 32)
+	go func() {
+		bw := bufio.NewWriter(w)
+		for i := 0; i < 50; i++ {
+			bw.WriteString("line of text\n")
+		}
+		bw.Flush()
+		w.Close()
+	}()
+	sc := bufio.NewScanner(r)
+	lines := 0
+	for sc.Scan() {
+		if sc.Text() != "line of text" {
+			t.Fatalf("line %d = %q", lines, sc.Text())
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != 50 {
+		t.Fatalf("lines = %d", lines)
+	}
+}
+
+func TestStreamBroadcastFanout(t *testing.T) {
+	// Two Broadcast readers each see the full stream.
+	f := newFac(t, mpf.WithMaxProcesses(3), mpf.WithBlocksPerProcess(2048))
+	p0, _ := f.Process(0)
+	p1, _ := f.Process(1)
+	p2, _ := f.Process(2)
+	r1conn, err := p1.OpenReceive("bstream", mpf.Broadcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2conn, err := p2.OpenReceive("bstream", mpf.Broadcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p0.OpenSend("bstream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 3000)
+	rand.New(rand.NewSource(2)).Read(payload)
+
+	type res struct {
+		b   []byte
+		err error
+	}
+	results := make(chan res, 2)
+	for _, rc := range []*mpf.RecvConn{r1conn, r2conn} {
+		go func(rc *mpf.RecvConn) {
+			b, err := io.ReadAll(mpf.NewReader(rc, 128))
+			results <- res{b, err}
+		}(rc)
+	}
+	w := mpf.NewWriter(s, 128)
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if !bytes.Equal(r.b, payload) {
+			t.Fatal("broadcast stream corrupted")
+		}
+	}
+}
+
+func TestStreamDefaultChunk(t *testing.T) {
+	w, r := pipePair(t, 0) // defaults
+	go func() {
+		w.Write(bytes.Repeat([]byte("d"), mpf.DefaultChunk*2+5))
+		w.Close()
+	}()
+	b, err := io.ReadAll(r)
+	if err != nil || len(b) != mpf.DefaultChunk*2+5 {
+		t.Fatalf("len=%d err=%v", len(b), err)
+	}
+}
+
+// Property: any payload and chunk size roundtrips.
+func TestQuickStreamRoundtrip(t *testing.T) {
+	f := func(payload []byte, chunkRaw uint8) bool {
+		if len(payload) > 8192 {
+			payload = payload[:8192]
+		}
+		chunk := int(chunkRaw)%200 + 1
+		fac, err := mpf.New(mpf.WithMaxProcesses(2), mpf.WithBlocksPerProcess(4096))
+		if err != nil {
+			return false
+		}
+		defer fac.Shutdown()
+		p0, _ := fac.Process(0)
+		p1, _ := fac.Process(1)
+		s, err := p0.OpenSend("q")
+		if err != nil {
+			return false
+		}
+		rc, err := p1.OpenReceive("q", mpf.FCFS)
+		if err != nil {
+			return false
+		}
+		w := mpf.NewWriter(s, chunk)
+		r := mpf.NewReader(rc, chunk)
+		done := make(chan []byte, 1)
+		go func() {
+			b, _ := io.ReadAll(r)
+			done <- b
+		}()
+		if _, err := w.Write(payload); err != nil {
+			return false
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		return bytes.Equal(<-done, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

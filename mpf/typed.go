@@ -1,0 +1,102 @@
+package mpf
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+)
+
+// Typed adapters: MPF circuits carry raw bytes, as in the paper's C
+// interface. TypedSender and TypedReceiver layer Go values on top using
+// encoding/gob. Every message is a self-contained gob stream, so FCFS
+// receivers can decode any message regardless of which sibling consumed
+// the previous one, and receivers can join mid-conversation.
+
+// TypedSender sends values of type T over a send connection.
+type TypedSender[T any] struct {
+	s   *SendConn
+	buf bytes.Buffer
+}
+
+// NewTypedSender wraps s.
+func NewTypedSender[T any](s *SendConn) *TypedSender[T] {
+	return &TypedSender[T]{s: s}
+}
+
+// Send encodes v as one message. Not safe for concurrent use (a
+// "process" is a single thread of control, as in the paper).
+func (t *TypedSender[T]) Send(v T) error {
+	t.buf.Reset()
+	if err := gob.NewEncoder(&t.buf).Encode(&v); err != nil {
+		return fmt.Errorf("mpf: typed send encode: %w", err)
+	}
+	return t.s.Send(t.buf.Bytes())
+}
+
+// Conn returns the underlying connection (for Close).
+func (t *TypedSender[T]) Conn() *SendConn { return t.s }
+
+// TypedReceiver receives values of type T from a receive connection.
+type TypedReceiver[T any] struct {
+	r   *RecvConn
+	buf []byte
+}
+
+// NewTypedReceiver wraps r. maxMsg bounds the encoded size of one value
+// (values encoding beyond it fail to decode rather than silently
+// truncate).
+func NewTypedReceiver[T any](r *RecvConn, maxMsg int) *TypedReceiver[T] {
+	if maxMsg <= 0 {
+		maxMsg = DefaultChunk
+	}
+	return &TypedReceiver[T]{r: r, buf: make([]byte, maxMsg)}
+}
+
+// Receive blocks for the next message and decodes it.
+func (t *TypedReceiver[T]) Receive() (T, error) {
+	var v T
+	n, err := t.r.Receive(t.buf)
+	if err != nil {
+		return v, err
+	}
+	return v, t.decode(n, &v)
+}
+
+// ReceiveDeadline is Receive bounded by d.
+func (t *TypedReceiver[T]) ReceiveDeadline(d time.Duration) (T, error) {
+	var v T
+	n, err := t.r.ReceiveDeadline(t.buf, d)
+	if err != nil {
+		return v, err
+	}
+	return v, t.decode(n, &v)
+}
+
+// TryReceive decodes a message if one is available.
+func (t *TypedReceiver[T]) TryReceive() (T, bool, error) {
+	var v T
+	n, ok, err := t.r.TryReceive(t.buf)
+	if err != nil || !ok {
+		return v, ok, err
+	}
+	if err := t.decode(n, &v); err != nil {
+		return v, true, err
+	}
+	return v, true, nil
+}
+
+func (t *TypedReceiver[T]) decode(n int, v *T) error {
+	if n == len(t.buf) {
+		// The copy filled the buffer exactly — the encoded value may
+		// have been truncated and would decode to garbage.
+		return fmt.Errorf("mpf: typed receive: message reached the %d-byte buffer limit (possible truncation)", n)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(t.buf[:n])).Decode(v); err != nil {
+		return fmt.Errorf("mpf: typed receive decode: %w", err)
+	}
+	return nil
+}
+
+// Conn returns the underlying connection (for Check and Close).
+func (t *TypedReceiver[T]) Conn() *RecvConn { return t.r }

@@ -1,0 +1,158 @@
+package mpf_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/mpf"
+)
+
+type job struct {
+	ID     int
+	Name   string
+	Coeffs []float64
+}
+
+func typedPair[T any](t *testing.T) (*mpf.TypedSender[T], *mpf.TypedReceiver[T]) {
+	t.Helper()
+	f := newFac(t, mpf.WithMaxProcesses(2), mpf.WithBlocksPerProcess(2048))
+	p0, _ := f.Process(0)
+	p1, _ := f.Process(1)
+	s, err := p0.OpenSend("typed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p1.OpenReceive("typed", mpf.FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mpf.NewTypedSender[T](s), mpf.NewTypedReceiver[T](r, 4096)
+}
+
+func TestTypedRoundtripStruct(t *testing.T) {
+	s, r := typedPair[job](t)
+	want := job{ID: 42, Name: "pivot", Coeffs: []float64{1.5, -2.25, 3}}
+	if err := s.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != want.ID || got.Name != want.Name || len(got.Coeffs) != 3 || got.Coeffs[1] != -2.25 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTypedSequenceSelfContained(t *testing.T) {
+	// Every message is an independent gob stream: decoding message k
+	// must not depend on having decoded messages < k.
+	s, r := typedPair[string](t)
+	for i := 0; i < 5; i++ {
+		if err := s.Send(strings.Repeat("x", i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Skip ahead by receiving raw through the typed receiver anyway —
+	// each Receive decodes standalone.
+	for i := 0; i < 5; i++ {
+		v, err := r.Receive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v) != i+1 {
+			t.Fatalf("message %d: %q", i, v)
+		}
+	}
+}
+
+func TestTypedTryReceive(t *testing.T) {
+	s, r := typedPair[int](t)
+	if _, ok, err := r.TryReceive(); ok || err != nil {
+		t.Fatalf("empty: ok=%v err=%v", ok, err)
+	}
+	s.Send(7)
+	v, ok, err := r.TryReceive()
+	if err != nil || !ok || v != 7 {
+		t.Fatalf("v=%d ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestTypedReceiveDeadline(t *testing.T) {
+	_, r := typedPair[int](t)
+	if _, err := r.ReceiveDeadline(30 * time.Millisecond); !errors.Is(err, mpf.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestTypedTruncationDetected(t *testing.T) {
+	f := newFac(t, mpf.WithMaxProcesses(2), mpf.WithBlocksPerProcess(2048))
+	p0, _ := f.Process(0)
+	p1, _ := f.Process(1)
+	s, _ := p0.OpenSend("trunc")
+	rc, _ := p1.OpenReceive("trunc", mpf.FCFS)
+	sender := mpf.NewTypedSender[string](s)
+	// Tiny receive buffer: the encoded value exceeds it.
+	receiver := mpf.NewTypedReceiver[string](rc, 8)
+	if err := sender.Send(strings.Repeat("long", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := receiver.Receive(); err == nil {
+		t.Fatal("truncated value decoded without error")
+	}
+}
+
+func TestTypedMapAndSliceValues(t *testing.T) {
+	s, r := typedPair[map[string][]int](t)
+	want := map[string][]int{"a": {1, 2}, "b": nil, "c": {3}}
+	if err := s.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got["a"][1] != 2 || got["c"][0] != 3 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	s, r := typedPair[int](t)
+	if s.Conn() == nil || r.Conn() == nil {
+		t.Fatal("nil conns")
+	}
+	if s.Conn().Name() != "typed" || r.Conn().Name() != "typed" {
+		t.Fatal("wrong circuit")
+	}
+}
+
+func TestTypedBroadcastFanout(t *testing.T) {
+	f := newFac(t, mpf.WithMaxProcesses(3), mpf.WithBlocksPerProcess(2048))
+	p0, _ := f.Process(0)
+	p1, _ := f.Process(1)
+	p2, _ := f.Process(2)
+	r1c, _ := p1.OpenReceive("tb", mpf.Broadcast)
+	r2c, _ := p2.OpenReceive("tb", mpf.Broadcast)
+	sc, _ := p0.OpenSend("tb")
+	s := mpf.NewTypedSender[job](sc)
+	r1 := mpf.NewTypedReceiver[job](r1c, 1024)
+	r2 := mpf.NewTypedReceiver[job](r2c, 1024)
+	for i := 0; i < 4; i++ {
+		if err := s.Send(job{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		a, err := r1.Receive()
+		if err != nil || a.ID != i {
+			t.Fatalf("r1 msg %d: %+v err=%v", i, a, err)
+		}
+		b, err := r2.Receive()
+		if err != nil || b.ID != i {
+			t.Fatalf("r2 msg %d: %+v err=%v", i, b, err)
+		}
+	}
+}
