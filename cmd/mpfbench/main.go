@@ -3,11 +3,18 @@
 // Usage:
 //
 //	mpfbench [-fig N] [-mode simulated|native|both] [-quick]
+//	mpfbench -contention [-quick]
+//	mpfbench -ablate schemes|blocksize|lockcost|paradigm [-quick]
 //
 // With no -fig it regenerates all six result figures (3-8). Simulated
 // mode replays the MPF protocol on the Balance 21000 machine model and
 // reports throughput and speedup at the paper's absolute scale; native
 // mode runs the real implementation on the host.
+//
+// -contention runs the contention-scaling benchmark: open/close churn
+// throughput versus worker count for the paper's single-lock registry
+// against the sharded registry with batched sends, followed by the
+// per-shard registry lock statistics of the largest sharded run.
 package main
 
 import (
@@ -26,7 +33,21 @@ func main() {
 	modeFlag := flag.String("mode", "simulated", "substrate: simulated, native or both")
 	quick := flag.Bool("quick", false, "smaller sweeps (≈10× faster, same shapes)")
 	ablate := flag.String("ablate", "", "ablation study instead of figures: schemes, blocksize or lockcost")
+	contention := flag.Bool("contention", false, "contention-scaling benchmark: sharded registry + batched sends vs the paper's single lock")
 	flag.Parse()
+
+	if *contention {
+		fig, registry, err := bench.ContentionSweep(bench.Config{Mode: bench.Native, Quick: *quick})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpfbench: contention: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Render())
+		fmt.Println(stats.RenderLockStats(
+			fmt.Sprintf("Registry shard lock traffic (largest sharded run, batch=%d)", bench.ContentionBatch),
+			registry))
+		return
+	}
 
 	if *ablate != "" {
 		cfg := bench.Config{Mode: bench.Simulated, Quick: *quick}

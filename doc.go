@@ -7,6 +7,15 @@
 // Balance 21000 simulator) live under internal/, the paper's two
 // applications under internal/apps, and the benchmark harness that
 // regenerates every figure of the paper's evaluation under
-// internal/bench and cmd/mpfbench. See README.md, DESIGN.md and
-// EXPERIMENTS.md.
+// internal/bench and cmd/mpfbench.
+//
+// Beyond the paper, the facility shards its circuit name registry so
+// opens and closes on distinct circuits never contend (DESIGN.md §4)
+// and offers batched send/receive primitives that pay the per-message
+// fixed costs once per batch (DESIGN.md §6); mpfbench -contention
+// quantifies both against the paper's single-lock layout. CI
+// (.github/workflows/ci.yml) gates build, vet, gofmt, the unit suite,
+// a race-detector subset and a benchmark smoke on every change.
+//
+// See README.md and DESIGN.md.
 package repro

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/mpf"
+)
+
+// Contention-scaling benchmark. The paper's Figures 4-6 measure how
+// throughput bends over as process counts grow; a large part of that
+// bend is the single global name-table lock every open/close takes.
+// This benchmark isolates exactly that cost on the real implementation:
+// workers churn open → traffic → close on private circuits, so the only
+// shared state is the registry itself (plus the arena). Sweeping the
+// shard count and the batch size separates the two remedies this
+// repository adds — registry sharding (open/close never contend across
+// shards) and batched send/receive (per-message fixed costs amortize
+// across a batch).
+
+// ContentionResult is one contention run's outcome.
+type ContentionResult struct {
+	// MsgsPerSec is delivered messages per second across all workers.
+	MsgsPerSec float64
+	// OpsPerSec is registry operations (opens + closes) per second.
+	OpsPerSec float64
+	// Registry holds the per-shard lock counters gathered during the
+	// run; index i describes shard i.
+	Registry []stats.LockStat
+}
+
+// NativeContention runs `workers` goroutines for `rounds` iterations
+// each. Every iteration opens a send and an FCFS receive connection on
+// the worker's private circuit, moves `batch` messages of msgLen bytes
+// through it (one SendBatch/ReceiveBatch pair when batch > 1, plain
+// Send/Receive when batch == 1), and closes both connections — four
+// registry operations per iteration. shards configures the registry;
+// shards == 1 reproduces the paper's single global table lock.
+func NativeContention(shards, workers, batch, rounds, msgLen int) (ContentionResult, error) {
+	if shards < 1 || workers < 1 || batch < 1 || rounds < 1 || msgLen < 0 {
+		return ContentionResult{}, fmt.Errorf("bench: contention(shards=%d, workers=%d, batch=%d, rounds=%d, msgLen=%d)",
+			shards, workers, batch, rounds, msgLen)
+	}
+	fac, err := mpf.New(
+		mpf.WithMaxProcesses(workers),
+		mpf.WithMaxLNVCs(workers+4),
+		mpf.WithRegistryShards(shards),
+		mpf.WithBlocksPerProcess(blocksFor(msgLen, 2*batch)),
+	)
+	if err != nil {
+		return ContentionResult{}, err
+	}
+	defer fac.Shutdown()
+
+	payload := make([]byte, msgLen)
+	start := time.Now()
+	err = fac.Run(workers, func(p *mpf.Process) error {
+		name := fmt.Sprintf("cont-%d", p.PID())
+		sendBufs := make([][]byte, batch)
+		recvBufs := make([][]byte, batch)
+		for i := range sendBufs {
+			sendBufs[i] = payload
+			recvBufs[i] = make([]byte, msgLen)
+		}
+		for r := 0; r < rounds; r++ {
+			s, err := p.OpenSend(name)
+			if err != nil {
+				return err
+			}
+			rc, err := p.OpenReceive(name, mpf.FCFS)
+			if err != nil {
+				return err
+			}
+			if batch == 1 {
+				if err := s.Send(payload); err != nil {
+					return err
+				}
+				if _, err := rc.Receive(recvBufs[0]); err != nil {
+					return err
+				}
+			} else {
+				if err := s.SendBatch(sendBufs); err != nil {
+					return err
+				}
+				for got := 0; got < batch; {
+					ns, err := rc.ReceiveBatch(recvBufs[got:])
+					if err != nil {
+						return err
+					}
+					got += len(ns)
+				}
+			}
+			if err := rc.Close(); err != nil {
+				return err
+			}
+			if err := s.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return ContentionResult{}, err
+	}
+	return ContentionResult{
+		MsgsPerSec: rate(workers*rounds*batch, elapsed),
+		OpsPerSec:  rate(workers*rounds*4, elapsed),
+		Registry:   fac.RegistryStats(),
+	}, nil
+}
+
+// ContentionBatch is the batch size the sharded/batched configuration
+// of the sweep uses.
+const ContentionBatch = 32
+
+// ContentionSweep sweeps worker counts for two configurations —
+// the paper's layout (one registry shard, single-message traffic) and
+// this repository's (16 shards, batches of ContentionBatch) — and
+// returns messages/sec versus workers, one series per configuration.
+// The per-shard registry counters of the largest sharded run are
+// returned alongside the figure.
+func ContentionSweep(cfg Config) (*stats.Figure, []stats.LockStat, error) {
+	fig := stats.NewFigure("Contention Scaling — Open/Close Churn Throughput vs. Workers (native)",
+		"workers", "msgs/sec")
+	unsharded := fig.AddSeries("unsharded, single-message")
+	sharded := fig.AddSeries(fmt.Sprintf("16 shards, batch=%d", ContentionBatch))
+	workers := []int{1, 2, 4, 8, 16}
+	if cfg.Quick {
+		workers = []int{1, 4, 8}
+	}
+	rounds := cfg.scale(400, 60)
+	var lastRegistry []stats.LockStat
+	for _, w := range workers {
+		res, err := NativeContention(1, w, 1, rounds, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("contention unsharded workers=%d: %w", w, err)
+		}
+		unsharded.Add(w, res.MsgsPerSec)
+		res, err = NativeContention(16, w, ContentionBatch, rounds, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("contention sharded workers=%d: %w", w, err)
+		}
+		sharded.Add(w, res.MsgsPerSec)
+		lastRegistry = res.Registry
+	}
+	return fig, lastRegistry, nil
+}

@@ -68,6 +68,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/shm"
 	"repro/internal/spinlock"
+	"repro/internal/stats"
 )
 
 // Protocol selects a receiver's delivery discipline (paper §2,
@@ -144,6 +145,13 @@ type Config struct {
 	// BlocksPerProcess scales the region: the block pool holds
 	// MaxProcesses * BlocksPerProcess blocks (default 256).
 	BlocksPerProcess int
+	// RegistryShards sets how many shards the LNVC name registry is
+	// split across (rounded up to a power of two, default 16, capped
+	// at 1024). One shard reproduces the paper's single global table
+	// lock; more shards let opens and closes on distinct circuits
+	// proceed without contending. Read the effective value back via
+	// Facility.RegistryShards.
+	RegistryShards int
 	// SendPolicy selects Send's behaviour on pool exhaustion.
 	SendPolicy SendPolicy
 	// Tracer, when non-nil, receives one Event per primitive invocation.
@@ -163,6 +171,10 @@ func (c *Config) fillDefaults() {
 	if c.BlocksPerProcess <= 0 {
 		c.BlocksPerProcess = 256
 	}
+	if c.RegistryShards <= 0 {
+		c.RegistryShards = defaultRegistryShards
+	}
+	c.RegistryShards = ceilPow2(c.RegistryShards)
 }
 
 // Stats aggregates facility-wide operation counts. All fields are
@@ -177,6 +189,15 @@ type Stats struct {
 	LNVCsDeleted          uint64
 	MessagesDropped       uint64 // discarded unread at LNVC deletion
 	ReceiveWaits          uint64 // Receive calls that had to block
+	// BatchSends and BatchReceives count SendBatch/ReceiveBatch calls;
+	// the individual messages they move are included in Sends/Receives.
+	BatchSends    uint64
+	BatchReceives uint64
+	// RegistryAcquisitions and RegistryContended total the per-shard
+	// registry lock counters (see Facility.RegistryStats for the
+	// per-shard breakdown).
+	RegistryAcquisitions uint64
+	RegistryContended    uint64
 }
 
 type statsCell struct {
@@ -188,6 +209,8 @@ type statsCell struct {
 	lnvcsDeleted          atomic.Uint64
 	messagesDropped       atomic.Uint64
 	receiveWaits          atomic.Uint64
+	batchSends            atomic.Uint64
+	batchReceives         atomic.Uint64
 }
 
 func (s *statsCell) snapshot() Stats {
@@ -199,6 +222,8 @@ func (s *statsCell) snapshot() Stats {
 		LNVCsCreated: s.lnvcsCreated.Load(), LNVCsDeleted: s.lnvcsDeleted.Load(),
 		MessagesDropped: s.messagesDropped.Load(),
 		ReceiveWaits:    s.receiveWaits.Load(),
+		BatchSends:      s.batchSends.Load(),
+		BatchReceives:   s.batchReceives.Load(),
 	}
 }
 
@@ -210,15 +235,18 @@ type Facility struct {
 	arena *shm.Arena
 	pool  *msg.Pool
 
-	// tableLock guards names, slots and freeIDs. Send/Receive/Check take
-	// it only in read mode to translate an ID to a descriptor; opens and
-	// closes take it in write mode. Lock order: tableLock before the
-	// LNVC lock.
-	tableLock spinlock.RW
-	names     map[string]ID
-	slots     []*lnvc // indexed by ID
-	freeIDs   []ID
-	lnvcFree  []*lnvc // recycled descriptors (the paper's free list)
+	// The sharded name registry (see registry.go). Names hash across
+	// shards; each shard guards its slice of the name map and its
+	// descriptor free list with its own reader/writer spin lock.
+	// Send/Receive/Check translate an ID to a descriptor with a single
+	// atomic load of slots — no registry lock at all. Lock order: shard
+	// lock before the LNVC lock; idLock is a leaf.
+	shards     []registryShard
+	shardMask  uint32
+	slots      []atomic.Pointer[lnvc] // indexed by ID
+	idLock     spinlock.TAS
+	freeIDs    []ID
+	contention *stats.Contention
 
 	stop    chan struct{}
 	stopped atomic.Bool
@@ -245,12 +273,18 @@ func Init(cfg Config) (*Facility, error) {
 		return nil, err
 	}
 	f := &Facility{
-		cfg:   cfg,
-		arena: arena,
-		pool:  msg.NewPool(arena, cfg.MaxProcesses*4),
-		names: make(map[string]ID, cfg.MaxLNVCs),
-		slots: make([]*lnvc, cfg.MaxLNVCs),
-		stop:  make(chan struct{}),
+		cfg:        cfg,
+		arena:      arena,
+		pool:       msg.NewPool(arena, cfg.MaxProcesses*4),
+		shards:     make([]registryShard, cfg.RegistryShards),
+		shardMask:  uint32(cfg.RegistryShards - 1),
+		slots:      make([]atomic.Pointer[lnvc], cfg.MaxLNVCs),
+		contention: stats.NewContention(cfg.RegistryShards),
+		stop:       make(chan struct{}),
+	}
+	perShard := cfg.MaxLNVCs/cfg.RegistryShards + 1
+	for i := range f.shards {
+		f.shards[i].names = make(map[string]ID, perShard)
 	}
 	f.freeIDs = make([]ID, 0, cfg.MaxLNVCs)
 	for id := cfg.MaxLNVCs - 1; id >= 0; id-- {
@@ -266,23 +300,32 @@ func (f *Facility) Shutdown() {
 		return
 	}
 	close(f.stop)
-	// Wake every receiver blocked on an LNVC condition variable.
-	f.tableLock.Lock()
-	for _, l := range f.slots {
-		if l != nil {
+	// Wake every receiver blocked on an LNVC condition variable. Slots
+	// are read with atomic loads; a descriptor recycled concurrently
+	// receives a harmless spurious broadcast (waiters always re-check
+	// their predicate).
+	for i := range f.slots {
+		if l := f.slots[i].Load(); l != nil {
 			l.lock.Lock()
 			l.cond.Broadcast()
 			l.lock.Unlock()
 		}
 	}
-	f.tableLock.Unlock()
 }
 
 // Arena exposes the backing region for tests and the benchmark harness.
 func (f *Facility) Arena() *shm.Arena { return f.arena }
 
-// Stats returns a snapshot of the facility's operation counters.
-func (f *Facility) Stats() Stats { return f.stats.snapshot() }
+// Stats returns a snapshot of the facility's operation counters,
+// including the registry lock totals (per-shard breakdown via
+// RegistryStats).
+func (f *Facility) Stats() Stats {
+	st := f.stats.snapshot()
+	t := f.contention.Total()
+	st.RegistryAcquisitions = t.Acquisitions
+	st.RegistryContended = t.Contended
+	return st
+}
 
 // Config returns the effective (default-filled) configuration.
 func (f *Facility) Config() Config { return f.cfg }
@@ -304,27 +347,35 @@ func checkName(name string) error {
 	return nil
 }
 
-// lookup translates an ID to its descriptor under a read lock.
+// lookup translates an ID to its descriptor with one atomic load — the
+// Send/Receive hot path takes no registry lock at all.
 func (f *Facility) lookup(id ID) (*lnvc, error) {
-	f.tableLock.RLock()
-	defer f.tableLock.RUnlock()
-	if id < 0 || int(id) >= len(f.slots) || f.slots[id] == nil {
+	if id < 0 || int(id) >= len(f.slots) {
 		return nil, fmt.Errorf("%w: id %d", ErrBadLNVC, id)
 	}
-	return f.slots[id], nil
+	l := f.slots[id].Load()
+	if l == nil {
+		return nil, fmt.Errorf("%w: id %d", ErrBadLNVC, id)
+	}
+	return l, nil
 }
 
 // LNVCByName returns the ID bound to name, for introspection.
 func (f *Facility) LNVCByName(name string) (ID, bool) {
-	f.tableLock.RLock()
-	defer f.tableLock.RUnlock()
-	id, ok := f.names[name]
+	si := f.shardIndex(name)
+	s := f.rlockShard(si)
+	defer s.lock.RUnlock()
+	id, ok := s.names[name]
 	return id, ok
 }
 
 // LNVCCount returns the number of live LNVCs.
 func (f *Facility) LNVCCount() int {
-	f.tableLock.RLock()
-	defer f.tableLock.RUnlock()
-	return len(f.names)
+	n := 0
+	for i := range f.shards {
+		s := f.rlockShard(uint32(i))
+		n += len(s.names)
+		s.lock.RUnlock()
+	}
+	return n
 }

@@ -25,10 +25,17 @@ type recvDesc struct {
 }
 
 // lnvc is an LNVC descriptor (paper Figure 2). All mutable fields are
-// guarded by lock.
+// guarded by lock; name is additionally written only under the owning
+// shard's write lock (reset), which is what lets the close path read it
+// under that same shard lock.
 type lnvc struct {
 	name string
 	id   ID
+	// shard is the registry shard this descriptor belongs to. It is
+	// immutable: descriptors recycle only through their own shard's
+	// free list, so every name this descriptor ever carries hashes
+	// here.
+	shard uint32
 
 	lock spinlock.TAS
 	cond *sync.Cond // signalled on enqueue and shutdown
@@ -48,10 +55,11 @@ type lnvc struct {
 	recvFree []*recvDesc
 }
 
-func newLNVC(name string, id ID) *lnvc {
+func newLNVC(name string, id ID, shard uint32) *lnvc {
 	l := &lnvc{
 		name:  name,
 		id:    id,
+		shard: shard,
 		sends: make(map[int]*sendDesc),
 		recvs: make(map[int]*recvDesc),
 	}
@@ -148,7 +156,9 @@ func (f *Facility) OpenReceive(pid int, name string, proto Protocol) (ID, error)
 }
 
 // open is the shared find-or-create path for both open primitives.
-// attach runs under both the table write lock and the LNVC lock.
+// attach runs under both the shard's write lock and the LNVC lock. Only
+// the shard that name hashes to is locked, so opens on circuits in
+// different shards proceed concurrently.
 func (f *Facility) open(pid int, name string, attach func(*lnvc) error) (ID, error) {
 	if err := f.checkPID(pid); err != nil {
 		return -1, err
@@ -159,24 +169,32 @@ func (f *Facility) open(pid int, name string, attach func(*lnvc) error) (ID, err
 	if f.stopped.Load() {
 		return -1, ErrShutdown
 	}
-	f.tableLock.Lock()
-	defer f.tableLock.Unlock()
+	si := f.shardIndex(name)
+	s := f.lockShard(si)
+	defer s.lock.Unlock()
 
-	id, exists := f.names[name]
+	id, exists := s.names[name]
 	var l *lnvc
 	if exists {
-		l = f.slots[id]
+		l = f.slots[id].Load()
 	} else {
-		if len(f.freeIDs) == 0 {
+		var ok bool
+		id, ok = f.allocID()
+		if !ok {
 			return -1, fmt.Errorf("%w (max %d)", ErrTooManyLNVCs, f.cfg.MaxLNVCs)
 		}
-		id = f.freeIDs[len(f.freeIDs)-1]
-		if n := len(f.lnvcFree); n > 0 {
-			l = f.lnvcFree[n-1]
-			f.lnvcFree = f.lnvcFree[:n-1]
+		if n := len(s.lnvcFree); n > 0 {
+			l = s.lnvcFree[n-1]
+			s.lnvcFree = s.lnvcFree[:n-1]
+			// reset mutates fields that stale holders of this
+			// descriptor (a Send that looked its old ID up just before
+			// deletion) read under the LNVC lock, so it needs that
+			// lock too.
+			l.lock.Lock()
 			l.reset(name, id)
+			l.lock.Unlock()
 		} else {
-			l = newLNVC(name, id)
+			l = newLNVC(name, id, si)
 		}
 	}
 
@@ -184,12 +202,15 @@ func (f *Facility) open(pid int, name string, attach func(*lnvc) error) (ID, err
 	err := attach(l)
 	l.lock.Unlock()
 	if err != nil {
+		if !exists {
+			s.lnvcFree = append(s.lnvcFree, l)
+			f.freeID(id)
+		}
 		return -1, err
 	}
 	if !exists {
-		f.freeIDs = f.freeIDs[:len(f.freeIDs)-1]
-		f.names[name] = id
-		f.slots[id] = l
+		s.names[name] = id
+		f.slots[id].Store(l)
 		f.stats.lnvcsCreated.Add(1)
 	}
 	f.stats.opens.Add(1)
@@ -244,20 +265,28 @@ func (f *Facility) CloseReceive(pid int, id ID) error {
 	return err
 }
 
-// close is the shared teardown path. detach runs under both locks; if it
-// leaves the LNVC with no connections, the LNVC is deleted.
+// close is the shared teardown path. detach runs under the descriptor's
+// shard lock and the LNVC lock; if it leaves the LNVC with no
+// connections, the LNVC is deleted. The descriptor-to-shard binding is
+// immutable (descriptors recycle within one shard), so the initial
+// lock-free slot load can never direct us to the wrong shard; the
+// re-check under the shard lock catches a circuit deleted — and possibly
+// recycled — between the load and the lock.
 func (f *Facility) close(pid int, id ID, detach func(*lnvc) error) error {
 	if err := f.checkPID(pid); err != nil {
 		return err
 	}
-	f.tableLock.Lock()
-	defer f.tableLock.Unlock()
-	if id < 0 || int(id) >= len(f.slots) || f.slots[id] == nil {
+	l, err := f.lookup(id)
+	if err != nil {
+		return err
+	}
+	s := f.lockShard(l.shard)
+	if f.slots[id].Load() != l {
+		s.lock.Unlock()
 		return fmt.Errorf("%w: id %d", ErrBadLNVC, id)
 	}
-	l := f.slots[id]
 	l.lock.Lock()
-	err := detach(l)
+	err = detach(l)
 	var drop []*msg.Message
 	dead := err == nil && l.connections() == 0
 	if dead {
@@ -270,19 +299,21 @@ func (f *Facility) close(pid int, id ID, detach func(*lnvc) error) error {
 	}
 	l.lock.Unlock()
 	if err != nil {
+		s.lock.Unlock()
 		return err
 	}
 	f.stats.closes.Add(1)
 	if dead {
-		delete(f.names, l.name)
-		f.slots[id] = nil
-		f.freeIDs = append(f.freeIDs, id)
-		f.lnvcFree = append(f.lnvcFree, l)
+		delete(s.names, l.name)
+		f.slots[id].Store(nil)
+		s.lnvcFree = append(s.lnvcFree, l)
+		f.freeID(id)
 		f.stats.lnvcsDeleted.Add(1)
 		f.stats.messagesDropped.Add(uint64(len(drop)))
-		for _, m := range drop {
-			f.pool.Release(m)
-		}
+	}
+	s.lock.Unlock()
+	for _, m := range drop {
+		f.pool.Release(m)
 	}
 	return nil
 }
@@ -314,7 +345,7 @@ func (f *Facility) send(pid int, id ID, buf []byte) error {
 	// Connection check is done before the (possibly blocking) copy so an
 	// unconnected sender fails fast, and rechecked after under the lock.
 	l.lock.Lock()
-	if _, ok := l.sends[pid]; !ok {
+	if f.slots[id].Load() != l || l.sends[pid] == nil {
 		l.lock.Unlock()
 		return fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
 	}
@@ -332,7 +363,10 @@ func (f *Facility) send(pid int, id ID, buf []byte) error {
 	}
 
 	l.lock.Lock()
-	if _, ok := l.sends[pid]; !ok {
+	// Re-validate both the connection and the ID binding: the circuit
+	// may have been deleted — and its descriptor recycled for another
+	// name through the shard free list — while the copy ran.
+	if f.slots[id].Load() != l || l.sends[pid] == nil {
 		l.lock.Unlock()
 		f.pool.Release(m)
 		return fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
@@ -382,8 +416,8 @@ func (f *Facility) receive(pid int, id ID, buf []byte, deadline *time.Time) (int
 		return 0, err
 	}
 	l.lock.Lock()
-	d, ok := l.recvs[pid]
-	if !ok {
+	d := l.recvs[pid]
+	if f.slots[id].Load() != l || d == nil {
 		l.lock.Unlock()
 		return 0, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
 	}
@@ -502,8 +536,8 @@ func (f *Facility) tryReceive(pid int, id ID, buf []byte) (int, bool, error) {
 		return 0, false, err
 	}
 	l.lock.Lock()
-	d, ok := l.recvs[pid]
-	if !ok {
+	d := l.recvs[pid]
+	if f.slots[id].Load() != l || d == nil {
 		l.lock.Unlock()
 		return 0, false, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
 	}
@@ -554,8 +588,8 @@ func (f *Facility) checkReceive(pid int, id ID) (bool, error) {
 	}
 	l.lock.Lock()
 	defer l.lock.Unlock()
-	d, ok := l.recvs[pid]
-	if !ok {
+	d := l.recvs[pid]
+	if f.slots[id].Load() != l || d == nil {
 		return false, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
 	}
 	f.stats.checks.Add(1)
@@ -613,6 +647,11 @@ func (f *Facility) LNVCInfo(id ID) (Info, error) {
 	}
 	l.lock.Lock()
 	defer l.lock.Unlock()
+	if f.slots[id].Load() != l {
+		// Deleted (and possibly recycled) between the lock-free lookup
+		// and the lock acquisition.
+		return Info{}, fmt.Errorf("%w: id %d", ErrBadLNVC, id)
+	}
 	info := Info{
 		Name:          l.name,
 		ID:            l.id,

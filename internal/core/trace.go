@@ -13,6 +13,8 @@ const (
 	OpReceive
 	OpCheckReceive
 	OpTryReceive
+	OpSendBatch
+	OpReceiveBatch
 )
 
 var opNames = [...]string{
@@ -24,6 +26,8 @@ var opNames = [...]string{
 	OpReceive:      "message_receive",
 	OpCheckReceive: "check_receive",
 	OpTryReceive:   "try_receive",
+	OpSendBatch:    "message_send_batch",
+	OpReceiveBatch: "message_receive_batch",
 }
 
 // String returns the paper's name for the primitive.

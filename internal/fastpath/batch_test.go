@@ -1,0 +1,170 @@
+package fastpath
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRingBatchRoundTrip(t *testing.T) {
+	r, err := NewRing(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([][]byte, 10)
+	for i := range msgs {
+		msgs[i] = []byte(fmt.Sprintf("batch message %d", i))
+	}
+	n, err := r.TrySendBatch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(msgs) {
+		t.Fatalf("TrySendBatch enqueued %d of %d", n, len(msgs))
+	}
+	bufs := make([][]byte, len(msgs))
+	for i := range bufs {
+		bufs[i] = make([]byte, 64)
+	}
+	ns, err := r.TryRecvBatch(bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != len(msgs) {
+		t.Fatalf("TryRecvBatch consumed %d of %d", len(ns), len(msgs))
+	}
+	for i, c := range ns {
+		if !bytes.Equal(bufs[i][:c], msgs[i]) {
+			t.Errorf("message %d: %q, want %q", i, bufs[i][:c], msgs[i])
+		}
+	}
+	// Ring drained.
+	if ns, err := r.TryRecvBatch(bufs); err != nil || len(ns) != 0 {
+		t.Errorf("drained ring returned %v, %v", ns, err)
+	}
+}
+
+func TestRingBatchPartialFill(t *testing.T) {
+	r, err := NewRing(64) // tiny: only some records fit
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([][]byte, 16)
+	for i := range msgs {
+		msgs[i] = []byte("0123456789") // 10 + 4 header, padded to 16
+	}
+	sent, err := r.TrySendBatch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent == 0 || sent == len(msgs) {
+		t.Fatalf("TrySendBatch on a tiny ring sent %d of %d; want a proper prefix", sent, len(msgs))
+	}
+	// The enqueued prefix round-trips intact.
+	bufs := make([][]byte, len(msgs))
+	for i := range bufs {
+		bufs[i] = make([]byte, 16)
+	}
+	ns, err := r.TryRecvBatch(bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != sent {
+		t.Fatalf("received %d, want the %d sent", len(ns), sent)
+	}
+}
+
+func TestRingBatchAcrossWrap(t *testing.T) {
+	r, err := NewRing(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 60)
+	buf := make([]byte, 64)
+	// Repeated two-message batches of 64-byte records on a 256-byte
+	// ring force the batch path across the wrap point many times.
+	for round := 0; round < 40; round++ {
+		if err := r.SendBatch([][]byte{payload, payload}); err != nil {
+			t.Fatal(err)
+		}
+		for got := 0; got < 2; {
+			ns, err := r.TryRecvBatch([][]byte{buf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range ns {
+				if n != len(payload) {
+					t.Fatalf("round %d: got %d bytes, want %d", round, n, len(payload))
+				}
+			}
+			got += len(ns)
+		}
+	}
+}
+
+func TestRingBatchTooBig(t *testing.T) {
+	r, err := NewRing(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := []byte("ok")
+	huge := make([]byte, 128)
+	sent, err := r.TrySendBatch([][]byte{small, huge, small})
+	if !errors.Is(err, ErrTooBig) {
+		t.Fatalf("err = %v, want ErrTooBig", err)
+	}
+	if sent != 1 {
+		t.Fatalf("sent %d before the oversized message, want 1", sent)
+	}
+	buf := make([]byte, 16)
+	n, ok, err := r.TryRecv(buf)
+	if err != nil || !ok || string(buf[:n]) != "ok" {
+		t.Fatalf("prefix not delivered: %q %v %v", buf[:n], ok, err)
+	}
+}
+
+func TestRingBatchClosedDrain(t *testing.T) {
+	r, err := NewRing(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.TrySendBatch([][]byte{[]byte("last")}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	bufs := [][]byte{make([]byte, 16)}
+	ns, err := r.TryRecvBatch(bufs)
+	if err != nil || len(ns) != 1 {
+		t.Fatalf("drain after close: %v %v", ns, err)
+	}
+	if _, err := r.TryRecvBatch(bufs); !errors.Is(err, ErrClosed) {
+		t.Fatalf("empty closed ring: %v, want ErrClosed", err)
+	}
+	if _, err := r.TrySendBatch([][]byte{[]byte("x")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed ring: %v, want ErrClosed", err)
+	}
+}
+
+func TestRingBatchNoBuffers(t *testing.T) {
+	r, err := NewRing(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero buffers must be a no-op in every ring state — in particular
+	// on a closed ring that still holds messages, where a retry loop
+	// could otherwise spin (or, worse, recurse) forever.
+	if ns, err := r.TryRecvBatch(nil); err != nil || ns != nil {
+		t.Errorf("empty recv on empty ring: %v, %v", ns, err)
+	}
+	if _, err := r.TrySendBatch([][]byte{[]byte("pending")}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if ns, err := r.TryRecvBatch(nil); err != nil || ns != nil {
+		t.Errorf("empty recv on closed non-empty ring: %v, %v", ns, err)
+	}
+	if ns, err := r.TryRecvBatch([][]byte{}); err != nil || ns != nil {
+		t.Errorf("zero-length recv on closed non-empty ring: %v, %v", ns, err)
+	}
+}

@@ -90,19 +90,13 @@ func putLE32(b []byte, v uint32) {
 	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 }
 
-// TrySend attempts to enqueue msg without blocking. It reports false if
-// the ring lacks space. Messages larger than Cap()-8 return ErrTooBig.
-func (r *Ring) TrySend(msg []byte) (bool, error) {
-	if r.closed.Load() {
-		return false, ErrClosed
-	}
+// push writes msg's record into the buffer at the unpublished cursor
+// tail, returning the advanced cursor and whether the record fit. It
+// does NOT publish: the caller stores r.tail, which is what lets a
+// batch of records go out under one cursor publish.
+func (r *Ring) push(tail, head uint64, msg []byte) (uint64, bool) {
 	need := uint64(recHeader + len(msg))
 	capacity := uint64(len(r.buf))
-	if need > capacity-recHeader {
-		return false, ErrTooBig
-	}
-	tail := r.tail.Load()
-	head := r.head.Load()
 	off := tail & r.mask
 	roomToEnd := capacity - off
 
@@ -110,7 +104,7 @@ func (r *Ring) TrySend(msg []byte) (bool, error) {
 		// Must wrap: burn roomToEnd bytes with a skip marker, then the
 		// record starts at offset 0. The skip itself needs header room.
 		if capacity-(tail-head) < roomToEnd+need {
-			return false, nil
+			return tail, false
 		}
 		if roomToEnd >= recHeader {
 			putLE32(r.buf[off:], skipMarker)
@@ -120,14 +114,85 @@ func (r *Ring) TrySend(msg []byte) (bool, error) {
 		tail += roomToEnd
 		off = 0
 	} else if capacity-(tail-head) < need {
-		return false, nil
+		return tail, false
 	}
 	putLE32(r.buf[off:], uint32(len(msg)))
 	copy(r.buf[off+recHeader:], msg)
-	// Publish: pad the record to 4-byte alignment so headers stay
-	// aligned and the skip-marker invariant above holds.
-	r.tail.Store(tail + pad4(need))
+	// Pad the record to 4-byte alignment so headers stay aligned and
+	// the skip-marker invariant above holds.
+	return tail + pad4(need), true
+}
+
+// TrySend attempts to enqueue msg without blocking. It reports false if
+// the ring lacks space. Messages larger than Cap()-8 return ErrTooBig.
+func (r *Ring) TrySend(msg []byte) (bool, error) {
+	if r.closed.Load() {
+		return false, ErrClosed
+	}
+	if uint64(recHeader+len(msg)) > uint64(len(r.buf))-recHeader {
+		return false, ErrTooBig
+	}
+	tail, ok := r.push(r.tail.Load(), r.head.Load(), msg)
+	if !ok {
+		return false, nil
+	}
+	r.tail.Store(tail) // publish
 	return true, nil
+}
+
+// TrySendBatch enqueues a prefix of msgs — as many as currently fit —
+// and publishes the producer cursor once for the whole prefix, so the
+// consumer observes the batch atomically and the producer pays one
+// cursor store however many records went out. It returns the number
+// enqueued. A message that can never fit (larger than Cap()-8) stops
+// the batch: the prefix before it is still published and ErrTooBig is
+// returned with the count.
+func (r *Ring) TrySendBatch(msgs [][]byte) (int, error) {
+	if r.closed.Load() {
+		return 0, ErrClosed
+	}
+	head := r.head.Load()
+	start := r.tail.Load()
+	tail := start
+	sent := 0
+	var err error
+	for _, msg := range msgs {
+		if uint64(recHeader+len(msg)) > uint64(len(r.buf))-recHeader {
+			err = ErrTooBig
+			break
+		}
+		next, ok := r.push(tail, head, msg)
+		if !ok {
+			break
+		}
+		tail = next
+		sent++
+	}
+	if tail != start {
+		r.tail.Store(tail) // one publish for the whole batch
+	}
+	return sent, err
+}
+
+// SendBatch blocks (spinning with backoff) until every message in msgs
+// is enqueued, publishing the cursor once per burst rather than once
+// per message. On ErrTooBig a prefix of the batch may already have been
+// delivered, as with repeated Send calls.
+func (r *Ring) SendBatch(msgs [][]byte) error {
+	done := 0
+	for spin := 0; done < len(msgs); spin++ {
+		n, err := r.TrySendBatch(msgs[done:])
+		if err != nil {
+			return err
+		}
+		done += n
+		if n > 0 {
+			spin = 0
+		} else if spin > 64 {
+			runtime.Gosched()
+		}
+	}
+	return nil
 }
 
 // TryRecv attempts to dequeue one message into buf without blocking,
@@ -160,6 +225,53 @@ func (r *Ring) TryRecv(buf []byte) (int, bool, error) {
 		n := copy(buf, r.buf[off+recHeader:off+recHeader+uint64(hdr)])
 		r.head.Store(head + pad4(uint64(recHeader)+uint64(hdr)))
 		return n, true, nil
+	}
+}
+
+// TryRecvBatch dequeues up to len(bufs) messages — one per buffer, each
+// truncated to its buffer — publishing the consumer cursor once for the
+// whole batch. It returns the per-message byte counts; an empty result
+// with a nil error means the ring was empty. Like TryRecv it drains
+// remaining messages after Close and only then returns ErrClosed.
+func (r *Ring) TryRecvBatch(bufs [][]byte) ([]int, error) {
+	if len(bufs) == 0 {
+		return nil, nil
+	}
+	capacity := uint64(len(r.buf))
+	for {
+		start := r.head.Load()
+		head := start
+		tail := r.tail.Load()
+		var ns []int
+		for len(ns) < len(bufs) {
+			if head == tail {
+				tail = r.tail.Load() // refresh: more may have arrived
+				if head == tail {
+					break
+				}
+			}
+			off := head & r.mask
+			hdr := le32(r.buf[off:])
+			if hdr == skipMarker || capacity-off < recHeader {
+				head += capacity - off
+				continue
+			}
+			ns = append(ns, copy(bufs[len(ns)], r.buf[off+recHeader:off+recHeader+uint64(hdr)]))
+			head += pad4(uint64(recHeader) + uint64(hdr))
+		}
+		if head != start {
+			r.head.Store(head) // one publish for the whole batch
+		}
+		if len(ns) == 0 && r.closed.Load() {
+			// Re-check emptiness after observing closed, so a send that
+			// completed before Close is not lost; a non-empty closed
+			// ring drains on the next pass of the loop.
+			if r.head.Load() == r.tail.Load() {
+				return nil, ErrClosed
+			}
+			continue
+		}
+		return ns, nil
 	}
 }
 

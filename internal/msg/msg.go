@@ -101,6 +101,37 @@ func (p *Pool) Build(sender int, buf []byte, wait bool, stop <-chan struct{}) (*
 	return m, nil
 }
 
+// BuildBatch builds one message per buffer in bufs, allocating every
+// payload block in a single arena transaction (Arena.AllocChains): the
+// batch costs one free-list lock acquisition however many messages and
+// blocks it spans. Either every message is built or none is; wait and
+// stop have Build's semantics, applied to the batch's total block
+// demand.
+func (p *Pool) BuildBatch(sender int, bufs [][]byte, wait bool, stop <-chan struct{}) ([]*Message, error) {
+	if len(bufs) == 0 {
+		return nil, nil
+	}
+	ns := make([]int, len(bufs))
+	for i, buf := range bufs {
+		ns[i] = p.arena.BlocksFor(len(buf))
+	}
+	heads, tails, err := p.arena.AllocChains(ns, wait, stop)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make([]*Message, len(bufs))
+	for i, buf := range bufs {
+		p.arena.WriteChain(heads[i], buf)
+		m := p.get()
+		m.Length = len(buf)
+		m.Head = heads[i]
+		m.Tail = tails[i]
+		m.Sender = sender
+		msgs[i] = m
+	}
+	return msgs, nil
+}
+
 // Extract copies the message payload into buf and returns the number of
 // bytes copied (min of message length and len(buf)), mirroring
 // message_receive's buffer-length semantics.

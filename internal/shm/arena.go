@@ -203,6 +203,14 @@ func (a *Arena) allocLocked() (int32, error) {
 // sender that outruns its receivers must wait for blocks to be recycled.
 // The stop channel aborts the wait (used at facility shutdown); a nil stop
 // never aborts.
+//
+// Waiter accounting: each waiter owns its own registration — it
+// increments waiters before sleeping and decrements after waking,
+// whether woken or aborted. Wakers never touch the count; they only
+// replace-and-close the channel when waiters > 0. This keeps the
+// invariant "a sleeping waiter's channel is the current one and will be
+// closed by the next free" without any reset/decrement interleavings
+// that could strand a later waiter.
 func (a *Arena) AllocWait(stop <-chan struct{}) (int32, error) {
 	for {
 		a.mu.Lock()
@@ -215,13 +223,17 @@ func (a *Arena) AllocWait(stop <-chan struct{}) (int32, error) {
 		a.waiters++
 		ch := a.cond.ch
 		a.mu.Unlock()
+		aborted := false
 		select {
 		case <-ch:
 			// A free arrived (or a broadcast); retry.
 		case <-stop:
-			a.mu.Lock()
-			a.waiters--
-			a.mu.Unlock()
+			aborted = true
+		}
+		a.mu.Lock()
+		a.waiters--
+		a.mu.Unlock()
+		if aborted {
 			return NilOffset, ErrOutOfBlocks
 		}
 	}
@@ -260,6 +272,84 @@ func (a *Arena) AllocChain(n int, wait bool, stop <-chan struct{}) (int32, error
 	return head, nil
 }
 
+// AllocChains allocates one chain per entry of ns — ns[i] blocks linked
+// head→…→tail — in a single arena transaction: the free-list lock is
+// taken once for the whole batch, not once per block or per chain. This
+// is the allocator half of the batched send path: a SendBatch of k
+// messages costs one lock acquisition here instead of the sum of the
+// messages' block counts. Both endpoints of every chain are returned so
+// callers building message headers need not re-walk the links. On
+// failure nothing is leaked.
+//
+// With wait set, exhaustion blocks until the batch's full block demand
+// can be met (stop aborts, as in AllocWait); the demand must not exceed
+// the region or the call errors immediately instead of deadlocking.
+func (a *Arena) AllocChains(ns []int, wait bool, stop <-chan struct{}) (heads, tails []int32, err error) {
+	total := 0
+	for _, n := range ns {
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("shm: AllocChains chain of %d blocks", n)
+		}
+		total += n
+	}
+	if total == 0 {
+		return nil, nil, nil
+	}
+	if total > int(a.nBlocks) {
+		return nil, nil, fmt.Errorf("shm: AllocChains batch of %d blocks exceeds region of %d: %w",
+			total, a.nBlocks, ErrOutOfBlocks)
+	}
+	for {
+		a.mu.Lock()
+		if int(a.nFree) >= total {
+			heads = make([]int32, len(ns))
+			tails = make([]int32, len(ns))
+			for i, n := range ns {
+				var head, tail int32 = NilOffset, NilOffset
+				for j := 0; j < n; j++ {
+					off, err := a.allocLocked()
+					if err != nil {
+						// Unreachable: nFree covers the batch.
+						panic("shm: AllocChains underflow")
+					}
+					a.setLink(off, NilOffset)
+					if head == NilOffset {
+						head = off
+					} else {
+						a.setLink(tail, off)
+					}
+					tail = off
+				}
+				heads[i], tails[i] = head, tail
+			}
+			a.mu.Unlock()
+			return heads, tails, nil
+		}
+		if !wait {
+			a.stats.AllocFails++
+			a.mu.Unlock()
+			return nil, nil, ErrOutOfBlocks
+		}
+		a.stats.AllocBlocks++
+		a.waiters++
+		ch := a.cond.ch
+		a.mu.Unlock()
+		aborted := false
+		select {
+		case <-ch:
+			// Frees arrived; retry the whole reservation.
+		case <-stop:
+			aborted = true
+		}
+		a.mu.Lock()
+		a.waiters--
+		a.mu.Unlock()
+		if aborted {
+			return nil, nil, ErrOutOfBlocks
+		}
+	}
+}
+
 // Free returns one block to the free list.
 func (a *Arena) Free(off int32) {
 	a.checkOffset(off)
@@ -268,9 +358,10 @@ func (a *Arena) Free(off int32) {
 	a.freeHead = off
 	a.nFree++
 	a.stats.Frees++
-	wake := a.waiters > 0
-	if wake {
-		a.waiters = 0
+	// Wake by replace-and-close only; waiters de-register themselves
+	// (see AllocWait), so a waiter aborting on stop can never consume
+	// another waiter's registration.
+	if a.waiters > 0 {
 		old := a.cond.ch
 		a.cond.ch = make(chan struct{})
 		a.mu.Unlock()
@@ -305,9 +396,7 @@ func (a *Arena) FreeChain(head int32) {
 	a.freeHead = head
 	a.nFree += n
 	a.stats.Frees += uint64(n)
-	wake := a.waiters > 0
-	if wake {
-		a.waiters = 0
+	if a.waiters > 0 {
 		old := a.cond.ch
 		a.cond.ch = make(chan struct{})
 		a.mu.Unlock()

@@ -157,6 +157,15 @@ func (l *RW) RLock() {
 	}
 }
 
+// TryRLock attempts to acquire a read lock without spinning and reports
+// success. A false return means a writer holds the lock or won a race
+// this instant; callers that keep contention statistics (the sharded
+// LNVC registry) probe with TryRLock first and fall back to RLock.
+func (l *RW) TryRLock() bool {
+	cur := l.readers.Load()
+	return cur >= 0 && l.readers.CompareAndSwap(cur, cur+1)
+}
+
 // RUnlock releases a read lock.
 func (l *RW) RUnlock() {
 	if l.readers.Add(-1) < 0 {
@@ -180,6 +189,12 @@ func (l *RW) Lock() {
 			runtime.Gosched()
 		}
 	}
+}
+
+// TryLock attempts to acquire the write lock without spinning and
+// reports success.
+func (l *RW) TryLock() bool {
+	return l.readers.CompareAndSwap(0, -1)
 }
 
 // Unlock releases the write lock.

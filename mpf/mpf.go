@@ -67,6 +67,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/proc"
+	"repro/internal/stats"
 )
 
 // Protocol selects a receiver's delivery discipline.
@@ -86,6 +87,9 @@ type ID = core.ID
 
 // Stats aggregates facility-wide operation counters.
 type Stats = core.Stats
+
+// LockStat is one registry shard's lock-acquisition counters.
+type LockStat = stats.LockStat
 
 // Tracer observes every primitive invocation; see package
 // internal/trace for ready-made implementations.
@@ -128,6 +132,14 @@ func WithBlockSize(n int) Option { return func(c *core.Config) { c.BlockSize = n
 // maxProcesses times this many blocks (default 256).
 func WithBlocksPerProcess(n int) Option { return func(c *core.Config) { c.BlocksPerProcess = n } }
 
+// WithRegistryShards splits the circuit name registry across n shards
+// (rounded up to a power of two, default 16, capped at 1024 — read the
+// effective value back via Facility.RegistryShards). One shard
+// reproduces the paper's single global table lock; more shards let
+// opens and closes on distinct circuits proceed without contending.
+// Per-shard lock traffic is reported by RegistryStats.
+func WithRegistryShards(n int) Option { return func(c *core.Config) { c.RegistryShards = n } }
+
 // WithFailFastSend makes Send return ErrNoMemory when the region is
 // exhausted instead of blocking until blocks are recycled.
 func WithFailFastSend() Option { return func(c *core.Config) { c.SendPolicy = core.FailFast } }
@@ -162,6 +174,15 @@ func (f *Facility) Shutdown() { f.c.Shutdown() }
 
 // Stats returns a snapshot of the facility's operation counters.
 func (f *Facility) Stats() Stats { return f.c.Stats() }
+
+// RegistryStats returns per-shard lock acquisition counters for the
+// circuit name registry; index i describes shard i. An idle shard shows
+// zero acquisitions; a fought-over one shows a high contended fraction.
+func (f *Facility) RegistryStats() []LockStat { return f.c.RegistryStats() }
+
+// RegistryShards returns the number of shards the registry was built
+// with (WithRegistryShards rounded up to a power of two).
+func (f *Facility) RegistryShards() int { return f.c.RegistryShards() }
 
 // MaxProcesses returns the configured process limit.
 func (f *Facility) MaxProcesses() int { return f.c.Config().MaxProcesses }
@@ -301,6 +322,15 @@ func (s *SendConn) Name() string { return s.name }
 // before any receiver runs.
 func (s *SendConn) Send(buf []byte) error { return s.p.fac.c.Send(s.p.pid, s.id, buf) }
 
+// SendBatch transfers every buffer in bufs as one message each, paying
+// the per-send fixed costs (circuit lock, block allocation, receiver
+// wakeup) once for the whole batch. The batch is atomic with respect to
+// other senders: its messages occupy consecutive positions in the
+// circuit's order. Either all of it is enqueued or none.
+func (s *SendConn) SendBatch(bufs [][]byte) error {
+	return s.p.fac.c.SendBatch(s.p.pid, s.id, bufs)
+}
+
 // Close removes the send connection (paper close_send). If it was the
 // circuit's last connection, the circuit is deleted and unread messages
 // are discarded.
@@ -332,6 +362,22 @@ func (r *RecvConn) Receive(buf []byte) (int, error) { return r.p.fac.c.Receive(r
 // message arrives in time.
 func (r *RecvConn) ReceiveDeadline(buf []byte, d time.Duration) (int, error) {
 	return r.p.fac.c.ReceiveDeadline(r.p.pid, r.id, buf, d)
+}
+
+// ReceiveBatch blocks until at least one message is available, then
+// consumes as many as are ready — at most one per buffer, each
+// truncated to its buffer — under a single circuit lock acquisition.
+// It returns the per-message byte counts (one entry per message
+// consumed). For FCFS connections the batch claim is atomic: sibling
+// receivers cannot interleave within it.
+func (r *RecvConn) ReceiveBatch(bufs [][]byte) ([]int, error) {
+	return r.p.fac.c.ReceiveBatch(r.p.pid, r.id, bufs)
+}
+
+// ReceiveBatchDeadline is ReceiveBatch bounded by d for the first
+// message; once one is available the batch never waits for more.
+func (r *RecvConn) ReceiveBatchDeadline(bufs [][]byte, d time.Duration) ([]int, error) {
+	return r.p.fac.c.ReceiveBatchDeadline(r.p.pid, r.id, bufs, d)
 }
 
 // Check reports whether a message is currently available (paper

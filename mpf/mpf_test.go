@@ -261,13 +261,22 @@ func TestLargeMessageRoundtrip(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i * 7)
 	}
-	err := f.Run(2, func(p *mpf.Process) error {
+	// The sender closes right after its send; without the barrier it can
+	// open, send and close before the receiver joins, deleting the
+	// circuit and dropping the message (the paper's §3.2 lost-message
+	// scenario) — the receiver would then block forever.
+	bar, err := mpf.Barrier(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.Run(2, func(p *mpf.Process) error {
 		if p.PID() == 0 {
 			s, err := p.OpenSend("big")
 			if err != nil {
 				return err
 			}
 			defer s.Close()
+			bar.Wait()
 			return s.Send(payload)
 		}
 		r, err := p.OpenReceive("big", mpf.FCFS)
@@ -275,6 +284,7 @@ func TestLargeMessageRoundtrip(t *testing.T) {
 			return err
 		}
 		defer r.Close()
+		bar.Wait()
 		buf := make([]byte, len(payload))
 		n, err := r.Receive(buf)
 		if err != nil {

@@ -36,19 +36,64 @@ func NewWriter(s *SendConn, chunk int) *Writer {
 	return &Writer{s: s, chunk: chunk}
 }
 
+// maxBatchChunks bounds how many chunks one Write groups into a single
+// SendBatch. A batch must fit the shared region all at once (SendBatch
+// is all-or-nothing), so an unbounded group would turn a large write
+// that used to stream chunk-by-chunk into an ErrMessageTooBig or a
+// stall waiting for the whole region to drain; a bounded group keeps
+// the batching win while still pipelining with the reader.
+const maxBatchChunks = 16
+
 // Write sends p as one or more messages. It never sends a zero-length
-// message (that is the EOF marker); an empty p is a no-op.
+// message (that is the EOF marker); an empty p is a no-op. A write that
+// spans several chunks goes out in batches of up to maxBatchChunks
+// (SendBatch), paying the circuit lock and receiver wakeup once per
+// batch instead of once per chunk; no other sender's message
+// interleaves a batch. Writes too large for batching degrade to the
+// chunk-by-chunk streaming of a plain Send loop.
 func (w *Writer) Write(p []byte) (int, error) {
 	if w.err != nil {
 		return 0, w.err
 	}
-	written := 0
-	for written < len(p) {
-		end := written + w.chunk
-		if end > len(p) {
-			end = len(p)
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if len(p) <= w.chunk {
+		if err := w.s.Send(p); err != nil {
+			w.err = err
+			return 0, err
 		}
-		if err := w.s.Send(p[written:end]); err != nil {
+		return len(p), nil
+	}
+	// Cap each batch's block demand at a quarter of the region so a
+	// batch never waits for the entire region to be free at once.
+	arena := w.s.p.fac.c.Arena()
+	maxBatchBytes := arena.NumBlocks() / 4 * arena.PayloadSize()
+	written := 0
+	var chunks [][]byte
+	for written < len(p) {
+		chunks = chunks[:0]
+		batchBytes := 0
+		end := written
+		for end < len(p) && len(chunks) < maxBatchChunks {
+			next := end + w.chunk
+			if next > len(p) {
+				next = len(p)
+			}
+			if len(chunks) > 0 && batchBytes+(next-end) > maxBatchBytes {
+				break
+			}
+			chunks = append(chunks, p[end:next])
+			batchBytes += next - end
+			end = next
+		}
+		var err error
+		if len(chunks) == 1 {
+			err = w.s.Send(chunks[0])
+		} else {
+			err = w.s.SendBatch(chunks)
+		}
+		if err != nil {
 			w.err = err
 			return written, err
 		}

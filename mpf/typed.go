@@ -34,6 +34,32 @@ func (t *TypedSender[T]) Send(v T) error {
 	return t.s.Send(t.buf.Bytes())
 }
 
+// SendBatch encodes each value as its own self-contained message and
+// transfers them as one batch: one circuit lock acquisition and one
+// receiver wakeup for the lot, with no interleaving from other senders.
+// Not safe for concurrent use.
+func (t *TypedSender[T]) SendBatch(vs []T) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	t.buf.Reset()
+	bufs := make([][]byte, len(vs))
+	offs := make([]int, len(vs)+1)
+	for i := range vs {
+		// Each value gets a fresh encoder so every message is an
+		// independent gob stream, exactly like single Send.
+		if err := gob.NewEncoder(&t.buf).Encode(&vs[i]); err != nil {
+			return fmt.Errorf("mpf: typed batch encode: %w", err)
+		}
+		offs[i+1] = t.buf.Len()
+	}
+	all := t.buf.Bytes()
+	for i := range vs {
+		bufs[i] = all[offs[i]:offs[i+1]]
+	}
+	return t.s.SendBatch(bufs)
+}
+
 // Conn returns the underlying connection (for Close).
 func (t *TypedSender[T]) Conn() *SendConn { return t.s }
 
