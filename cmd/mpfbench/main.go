@@ -4,6 +4,7 @@
 //
 //	mpfbench [-fig N] [-mode simulated|native|both] [-quick]
 //	mpfbench -contention [-quick]
+//	mpfbench -select [-quick]
 //	mpfbench -ablate schemes|blocksize|lockcost|paradigm [-quick]
 //
 // With no -fig it regenerates all six result figures (3-8). Simulated
@@ -15,6 +16,11 @@
 // throughput versus worker count for the paper's single-lock registry
 // against the sharded registry with batched sends, followed by the
 // per-shard registry lock statistics of the largest sharded run.
+//
+// -select runs the selector-scaling benchmark: spurious wakeups per
+// delivered message versus idle-circuit count for the Selector and the
+// per-circuit-waiter ReceiveAny against the legacy global activity
+// pulse (the thundering herd).
 package main
 
 import (
@@ -34,7 +40,18 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller sweeps (≈10× faster, same shapes)")
 	ablate := flag.String("ablate", "", "ablation study instead of figures: schemes, blocksize or lockcost")
 	contention := flag.Bool("contention", false, "contention-scaling benchmark: sharded registry + batched sends vs the paper's single lock")
+	sel := flag.Bool("select", false, "selector-scaling benchmark: per-circuit wakeups vs the global activity pulse")
 	flag.Parse()
+
+	if *sel {
+		fig, err := bench.SelectorSweep(bench.Config{Mode: bench.Native, Quick: *quick})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpfbench: select: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Render())
+		return
+	}
 
 	if *contention {
 		fig, registry, err := bench.ContentionSweep(bench.Config{Mode: bench.Native, Quick: *quick})

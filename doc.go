@@ -10,12 +10,16 @@
 // internal/bench and cmd/mpfbench.
 //
 // Beyond the paper, the facility shards its circuit name registry so
-// opens and closes on distinct circuits never contend (DESIGN.md §4)
-// and offers batched send/receive primitives that pay the per-message
-// fixed costs once per batch (DESIGN.md §6); mpfbench -contention
-// quantifies both against the paper's single-lock layout. CI
-// (.github/workflows/ci.yml) gates build, vet, gofmt, the unit suite,
-// a race-detector subset and a benchmark smoke on every change.
+// opens and closes on distinct circuits never contend (DESIGN.md §4),
+// offers batched send/receive primitives that pay the per-message
+// fixed costs once per batch (DESIGN.md §6), and multiplexes
+// thousands of circuits per goroutine through an event-driven
+// Selector with per-circuit wakeups (DESIGN.md §10); mpfbench
+// -contention and mpfbench -select quantify these against the paper's
+// single-lock, single-pulse layout. CI (.github/workflows/ci.yml)
+// gates build, vet, gofmt, the unit suite, a race-detector subset, a
+// benchmark smoke and a protocol-invariant fuzz smoke on every
+// change.
 //
 // See README.md and DESIGN.md.
 package repro

@@ -13,10 +13,16 @@ import (
 //
 // The paper's MPF has no multi-circuit wait; programs polled with
 // check_receive (the random benchmark's structure). ReceiveAny is the
-// blocking equivalent: it polls each circuit with the atomic TryReceive
-// claim, then sleeps on a facility-wide activity signal that every Send
-// pulses. The sleep/wake is the same structure the arena uses for
-// block-pool waits.
+// blocking equivalent. It registers a one-shot waiter on each circuit's
+// waiter list (waiter.go), polls with the atomic TryReceive claim, and
+// parks; only a Send on one of *these* circuits — or a close that
+// affects them — wakes it. The pre-selector scheme, one facility-wide
+// pulse waking every waiter on every Send, survives behind
+// Config.GlobalPulseMux as the benchmark's ablation baseline.
+//
+// A CloseReceive on one of the circuits (or facility Shutdown) while
+// parked wakes the call, which then returns ErrNotConnected (resp.
+// ErrShutdown) rather than hanging.
 func (f *Facility) ReceiveAny(pid int, ids []ID, buf []byte) (int, int, error) {
 	return f.receiveAny(pid, ids, buf, nil)
 }
@@ -38,6 +44,86 @@ func (f *Facility) receiveAny(pid int, ids []ID, buf []byte, deadline *time.Time
 	if len(ids) == 0 {
 		return 0, 0, fmt.Errorf("%w: ReceiveAny with no circuits", ErrBadLNVC)
 	}
+	if f.cfg.GlobalPulseMux {
+		return f.receiveAnyGlobal(pid, ids, buf, deadline)
+	}
+
+	// Validate every connection and register one shared one-shot waiter
+	// before the first poll. Registration-before-poll is what closes
+	// the wakeup race: a message enqueued after a circuit was polled
+	// leaves its signal in the channel, so the park below returns
+	// immediately instead of sleeping through it.
+	w := &muxWaiter{ch: make(chan struct{}, 1)}
+	regs := make([]*lnvc, 0, len(ids))
+	defer func() {
+		for _, l := range regs {
+			l.lock.Lock()
+			l.removeWaiterLocked(w)
+			l.lock.Unlock()
+		}
+	}()
+	for _, id := range ids {
+		l, err := f.lookup(id)
+		if err != nil {
+			return 0, 0, err
+		}
+		l.lock.Lock()
+		if f.slots[id].Load() != l || l.recvs[pid] == nil {
+			l.lock.Unlock()
+			return 0, 0, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
+		}
+		l.addWaiterLocked(w)
+		l.lock.Unlock()
+		regs = append(regs, l)
+	}
+
+	start := f.anyStart(pid, len(ids))
+	woken := false
+	for {
+		if f.stopped.Load() {
+			return 0, 0, ErrShutdown
+		}
+		// Drain a stale signal before polling so a fire landing during
+		// the poll re-arms the channel for the park below.
+		select {
+		case <-w.ch:
+		default:
+		}
+		for k := 0; k < len(ids); k++ {
+			i := (start + k) % len(ids)
+			n, ok, err := f.tryReceive(pid, ids[i], buf)
+			if err != nil {
+				// Covers a circuit closed while parked: the close woke
+				// the waiter and TryReceive reports ErrNotConnected.
+				return 0, 0, err
+			}
+			if ok {
+				if woken {
+					f.stats.muxWakeups.Add(1)
+				}
+				f.setAnyStart(pid, i+1)
+				f.trace(Event{Op: OpReceive, PID: pid, LNVC: ids[i], Bytes: n})
+				return i, n, nil
+			}
+		}
+		if woken {
+			f.stats.muxWakeups.Add(1)
+			f.stats.muxSpurious.Add(1)
+		}
+		ok, err := parkWait(w.ch, f.stop, deadline)
+		if err != nil {
+			return 0, 0, err
+		}
+		woken = ok
+	}
+}
+
+// receiveAnyGlobal is the pre-selector implementation, kept verbatim
+// (plus wakeup accounting) as the ablation baseline: it sleeps on the
+// facility-wide activity channel that every Send — and, for prompt
+// close-race handling, every close — pulses, so every parked waiter
+// wakes to rescan all of its circuits on every send anywhere.
+func (f *Facility) receiveAnyGlobal(pid int, ids []ID, buf []byte, deadline *time.Time) (int, int, error) {
 	// Validate connections up front so misuse fails immediately rather
 	// than blocking forever.
 	for _, id := range ids {
@@ -53,6 +139,7 @@ func (f *Facility) receiveAny(pid int, ids []ID, buf []byte, deadline *time.Time
 		}
 	}
 	start := f.anyStart(pid, len(ids))
+	woken := false
 	for {
 		if f.stopped.Load() {
 			return 0, 0, ErrShutdown
@@ -67,37 +154,28 @@ func (f *Facility) receiveAny(pid int, ids []ID, buf []byte, deadline *time.Time
 				return 0, 0, err
 			}
 			if ok {
+				if woken {
+					f.stats.muxWakeups.Add(1)
+				}
 				f.setAnyStart(pid, i+1)
 				f.trace(Event{Op: OpReceive, PID: pid, LNVC: ids[i], Bytes: n})
 				return i, n, nil
 			}
 		}
-		if deadline == nil {
-			select {
-			case <-ch:
-			case <-f.stop:
-				return 0, 0, ErrShutdown
-			}
-			continue
+		if woken {
+			f.stats.muxWakeups.Add(1)
+			f.stats.muxSpurious.Add(1)
 		}
-		wait := time.Until(*deadline)
-		if wait <= 0 {
-			return 0, 0, ErrTimeout
+		ok, err := parkWait(ch, f.stop, deadline)
+		if err != nil {
+			return 0, 0, err
 		}
-		timer := time.NewTimer(wait)
-		select {
-		case <-ch:
-			timer.Stop()
-		case <-f.stop:
-			timer.Stop()
-			return 0, 0, ErrShutdown
-		case <-timer.C:
-			return 0, 0, ErrTimeout
-		}
+		woken = ok
 	}
 }
 
-// activityChan returns the channel pulsed by the next Send.
+// activityChan returns the channel pulsed by the next Send (legacy
+// GlobalPulseMux mode only).
 func (f *Facility) activityChan() <-chan struct{} {
 	f.activityMu.Lock()
 	defer f.activityMu.Unlock()
@@ -107,8 +185,8 @@ func (f *Facility) activityChan() <-chan struct{} {
 	return f.activity
 }
 
-// pulseActivity wakes every ReceiveAny waiter; called by Send after
-// enqueueing.
+// pulseActivity wakes every parked receiveAnyGlobal waiter; called by
+// Send and the close path when GlobalPulseMux is on.
 func (f *Facility) pulseActivity() {
 	f.activityMu.Lock()
 	ch := f.activity

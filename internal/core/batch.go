@@ -92,8 +92,11 @@ func (f *Facility) sendBatch(pid int, id ID, bufs [][]byte, total int) error {
 		l.queue.Enqueue(m)
 	}
 	l.cond.Broadcast() // one wakeup for the whole batch
+	l.wakeWaitersLocked()
 	l.lock.Unlock()
-	f.pulseActivity()
+	if f.cfg.GlobalPulseMux {
+		f.pulseActivity()
+	}
 
 	f.stats.sends.Add(uint64(len(msgs)))
 	f.stats.batchSends.Add(1)
@@ -159,6 +162,11 @@ func (f *Facility) receiveBatch(pid int, id ID, bufs [][]byte, deadline *time.Ti
 		if f.stopped.Load() {
 			l.lock.Unlock()
 			return nil, ErrShutdown
+		}
+		if l.recvs[pid] != d {
+			// Connection closed while parked; see receive.
+			l.lock.Unlock()
+			return nil, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
 		}
 		if l.availableLocked(d) != nil {
 			break

@@ -154,6 +154,14 @@ type Config struct {
 	RegistryShards int
 	// SendPolicy selects Send's behaviour on pool exhaustion.
 	SendPolicy SendPolicy
+	// GlobalPulseMux reverts ReceiveAny to the pre-selector wakeup
+	// scheme: every Send pulses one facility-wide activity channel and
+	// every parked ReceiveAny waiter wakes to rescan all of its
+	// circuits. It exists purely as the ablation baseline the
+	// selector-scaling benchmark compares against (the thundering
+	// herd); leave it off in real use. Selectors always use the
+	// per-circuit waiter lists regardless of this knob.
+	GlobalPulseMux bool
 	// Tracer, when non-nil, receives one Event per primitive invocation.
 	Tracer Tracer
 }
@@ -193,6 +201,12 @@ type Stats struct {
 	// the individual messages they move are included in Sends/Receives.
 	BatchSends    uint64
 	BatchReceives uint64
+	// MuxWakeups counts ReceiveAny/Selector.Wait park wakeups;
+	// MuxSpurious is the subset that found no deliverable message —
+	// the thundering-herd cost the per-circuit waiter lists remove
+	// (timeouts and shutdown aborts count as neither).
+	MuxWakeups  uint64
+	MuxSpurious uint64
 	// RegistryAcquisitions and RegistryContended total the per-shard
 	// registry lock counters (see Facility.RegistryStats for the
 	// per-shard breakdown).
@@ -211,6 +225,8 @@ type statsCell struct {
 	receiveWaits          atomic.Uint64
 	batchSends            atomic.Uint64
 	batchReceives         atomic.Uint64
+	muxWakeups            atomic.Uint64
+	muxSpurious           atomic.Uint64
 }
 
 func (s *statsCell) snapshot() Stats {
@@ -224,6 +240,8 @@ func (s *statsCell) snapshot() Stats {
 		ReceiveWaits:    s.receiveWaits.Load(),
 		BatchSends:      s.batchSends.Load(),
 		BatchReceives:   s.batchReceives.Load(),
+		MuxWakeups:      s.muxWakeups.Load(),
+		MuxSpurious:     s.muxSpurious.Load(),
 	}
 }
 
@@ -251,9 +269,12 @@ type Facility struct {
 	stop    chan struct{}
 	stopped atomic.Bool
 
-	// activity is pulsed (closed and replaced) by every Send; ReceiveAny
-	// waiters sleep on it. anyCursor holds per-process round-robin scan
-	// positions. Guarded by activityMu.
+	// activity is the legacy facility-wide pulse, used only when
+	// Config.GlobalPulseMux selects the ablation baseline: every Send
+	// closes and replaces it, waking every parked ReceiveAny. The real
+	// wakeup path is the per-circuit waiter lists (waiter.go).
+	// anyCursor holds per-process round-robin scan positions for
+	// ReceiveAny fairness. Both guarded by activityMu.
 	activityMu spinlock.TAS
 	activity   chan struct{}
 	anyCursor  map[int]int

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzProtocolInvariants drives random interleavings of FCFS and
+// BROADCAST receivers against one circuit and checks the paper's §2
+// delivery contract:
+//
+//   - each message is consumed by exactly one FCFS receiver, in order
+//     (the shared head), however the receives interleave with sends,
+//     consumptions by the sibling, and FCFS close/reopen churn;
+//   - every BROADCAST receiver connected since before the first send
+//     observes the complete message stream in send order;
+//   - once everything is consumed, the queue has been reclaimed.
+//
+// The script is one op per input byte: pid 0 sends; pids 1-2 hold FCFS
+// connections (pid 2 churns close/reopen); pids 3-4 hold BROADCAST
+// connections. Sends are seq-stamped so the trackers can identify every
+// delivery. FailFast keeps pool exhaustion from blocking the fuzzer —
+// a refused send is simply not recorded.
+func FuzzProtocolInvariants(f *testing.F) {
+	// Seed corpus: a quiet round-trip, a saturating burst then drain,
+	// receiver churn around a burst, and interleaved chatter.
+	f.Add([]byte{0, 1, 0, 3, 0, 4, 2, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 3, 3, 3, 3, 4, 4, 4, 4})
+	f.Add([]byte{5, 0, 0, 5, 2, 0, 5, 1, 2, 5, 0, 2})
+	f.Add([]byte{0, 3, 1, 0, 4, 2, 0, 3, 1, 0, 4, 2, 5, 0, 3, 1, 5, 0, 4, 2})
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 4096 {
+			t.Skip("script longer than useful")
+		}
+		fac, err := Init(Config{
+			MaxLNVCs:         4,
+			MaxProcesses:     5,
+			BlocksPerProcess: 16,
+			SendPolicy:       FailFast,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fac.Shutdown()
+
+		const name = "fuzz"
+		sid, err := fac.OpenSend(0, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fcfs1, err := fac.OpenReceive(1, name, FCFS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fcfs2, err := fac.OpenReceive(2, name, FCFS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fcfs2Open := true
+		bc3, err := fac.OpenReceive(3, name, Broadcast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc4, err := fac.OpenReceive(4, name, Broadcast)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var (
+			nextSeq   uint64             // payload stamp of the next send
+			sent      uint64             // sends accepted by the facility
+			fcfsSeen  = map[uint64]int{} // stamp → FCFS consumptions
+			fcfsOrder = uint64(0)        // next stamp FCFS may consume
+			bcNext    = map[int]uint64{3: 0, 4: 0}
+		)
+		buf := make([]byte, 8)
+
+		fcfsRecv := func(pid int, id ID) {
+			n, ok, err := fac.TryReceive(pid, id, buf)
+			if err != nil {
+				t.Fatalf("FCFS TryReceive pid %d: %v", pid, err)
+			}
+			if !ok {
+				return
+			}
+			if n != 8 {
+				t.Fatalf("FCFS pid %d got %d bytes", pid, n)
+			}
+			stamp := binary.BigEndian.Uint64(buf)
+			fcfsSeen[stamp]++
+			if fcfsSeen[stamp] > 1 {
+				t.Fatalf("message %d consumed %d times by FCFS", stamp, fcfsSeen[stamp])
+			}
+			if stamp != fcfsOrder {
+				t.Fatalf("FCFS consumed %d, want next-in-order %d", stamp, fcfsOrder)
+			}
+			fcfsOrder++
+		}
+		bcastRecv := func(pid int, id ID) {
+			n, ok, err := fac.TryReceive(pid, id, buf)
+			if err != nil {
+				t.Fatalf("BROADCAST TryReceive pid %d: %v", pid, err)
+			}
+			if !ok {
+				return
+			}
+			if n != 8 {
+				t.Fatalf("BROADCAST pid %d got %d bytes", pid, n)
+			}
+			stamp := binary.BigEndian.Uint64(buf)
+			if stamp != bcNext[pid] {
+				t.Fatalf("BROADCAST pid %d saw %d, want %d (gap or reorder)", pid, stamp, bcNext[pid])
+			}
+			bcNext[pid]++
+		}
+
+		for _, op := range script {
+			switch op % 6 {
+			case 0:
+				payload := make([]byte, 8)
+				binary.BigEndian.PutUint64(payload, nextSeq)
+				err := fac.Send(0, sid, payload)
+				if errors.Is(err, ErrNoMemory) {
+					continue // pool full: drop the stamp, receivers catch up
+				}
+				if err != nil {
+					t.Fatalf("send %d: %v", nextSeq, err)
+				}
+				nextSeq++
+				sent++
+			case 1:
+				fcfsRecv(1, fcfs1)
+			case 2:
+				if fcfs2Open {
+					fcfsRecv(2, fcfs2)
+				}
+			case 3:
+				bcastRecv(3, bc3)
+			case 4:
+				bcastRecv(4, bc4)
+			case 5:
+				if fcfs2Open {
+					if err := fac.CloseReceive(2, fcfs2); err != nil {
+						t.Fatalf("close fcfs2: %v", err)
+					}
+					fcfs2Open = false
+				} else {
+					// Reopening inherits the shared FCFS head: no
+					// double delivery, no gap.
+					fcfs2, err = fac.OpenReceive(2, name, FCFS)
+					if err != nil {
+						t.Fatalf("reopen fcfs2: %v", err)
+					}
+					fcfs2Open = true
+				}
+			}
+		}
+
+		// Drain: every accepted message must reach exactly one FCFS
+		// receiver and both broadcast receivers, in order.
+		for fcfsOrder < sent {
+			before := fcfsOrder
+			fcfsRecv(1, fcfs1)
+			if fcfsOrder == before {
+				t.Fatalf("FCFS drain stalled at %d of %d", fcfsOrder, sent)
+			}
+		}
+		for _, pid := range []int{3, 4} {
+			id := bc3
+			if pid == 4 {
+				id = bc4
+			}
+			for bcNext[pid] < sent {
+				before := bcNext[pid]
+				bcastRecv(pid, id)
+				if bcNext[pid] == before {
+					t.Fatalf("BROADCAST pid %d drain stalled at %d of %d", pid, bcNext[pid], sent)
+				}
+			}
+		}
+		for stamp := uint64(0); stamp < sent; stamp++ {
+			if fcfsSeen[stamp] != 1 {
+				t.Fatalf("message %d consumed %d times by FCFS, want exactly 1", stamp, fcfsSeen[stamp])
+			}
+		}
+
+		// Everything consumed: reclamation must have emptied the queue.
+		id, ok := fac.LNVCByName(name)
+		if !ok {
+			t.Fatal("circuit vanished")
+		}
+		info, err := fac.LNVCInfo(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.QueuedMsgs != 0 {
+			t.Fatalf("%d messages still queued after full drain", info.QueuedMsgs)
+		}
+		if free, total := fac.Arena().FreeBlocks(), fac.Arena().NumBlocks(); free != total {
+			t.Fatalf("block leak after drain: %d of %d free", free, total)
+		}
+	})
+}

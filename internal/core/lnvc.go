@@ -48,6 +48,16 @@ type lnvc struct {
 	nFCFS  int // count of FCFS receive connections
 	nBcast int // count of BROADCAST receive connections
 
+	// waiters are the parked multiplexer registrations (ReceiveAny
+	// parks, Selector memberships) on this circuit; enqueue and close
+	// wake exactly these (see waiter.go). gen counts descriptor
+	// incarnations: reset bumps it, and selectors compare it so a
+	// registration on a dead circuit can never be satisfied by a new
+	// circuit that recycled both the descriptor and the id (the ABA
+	// the registry free lists would otherwise permit).
+	waiters []*muxWaiter
+	gen     uint64
+
 	// descriptor free lists, per paper §3.1 ("Like message blocks, LNVC,
 	// send, and receive descriptors are linked into free lists when not
 	// in use").
@@ -76,6 +86,14 @@ func (l *lnvc) reset(name string, id ID) {
 	clear(l.sends)
 	clear(l.recvs)
 	l.nFCFS, l.nBcast = 0, 0
+	// Stale registrations from the descriptor's previous life are
+	// dropped: their owners were woken at deletion and unregister by
+	// identity, which tolerates the entry already being gone. The
+	// generation bump invalidates any selector registration that still
+	// names this descriptor.
+	clear(l.waiters)
+	l.waiters = l.waiters[:0]
+	l.gen++
 }
 
 func (l *lnvc) connections() int { return len(l.sends) + len(l.recvs) }
@@ -287,6 +305,14 @@ func (f *Facility) close(pid int, id ID, detach func(*lnvc) error) error {
 	}
 	l.lock.Lock()
 	err = detach(l)
+	if err == nil {
+		// A Receive parked on the condition variable, a ReceiveAny
+		// parked on the waiter list, or a Selector.Wait must observe a
+		// closed connection promptly — never hang until an unrelated
+		// send happens by (they re-validate the connection on wake).
+		l.cond.Broadcast()
+		l.wakeWaitersLocked()
+	}
 	var drop []*msg.Message
 	dead := err == nil && l.connections() == 0
 	if dead {
@@ -312,6 +338,9 @@ func (f *Facility) close(pid int, id ID, detach func(*lnvc) error) error {
 		f.stats.messagesDropped.Add(uint64(len(drop)))
 	}
 	s.lock.Unlock()
+	if f.cfg.GlobalPulseMux {
+		f.pulseActivity()
+	}
 	for _, m := range drop {
 		f.pool.Release(m)
 	}
@@ -375,8 +404,11 @@ func (f *Facility) send(pid int, id ID, buf []byte) error {
 	m.FCFSNeeded = true
 	l.queue.Enqueue(m)
 	l.cond.Broadcast()
+	l.wakeWaitersLocked()
 	l.lock.Unlock()
-	f.pulseActivity()
+	if f.cfg.GlobalPulseMux {
+		f.pulseActivity()
+	}
 
 	f.stats.sends.Add(1)
 	f.stats.bytesSent.Add(uint64(len(buf)))
@@ -441,6 +473,13 @@ func (f *Facility) receive(pid int, id ID, buf []byte, deadline *time.Time) (int
 		if f.stopped.Load() {
 			l.lock.Unlock()
 			return 0, ErrShutdown
+		}
+		if l.recvs[pid] != d {
+			// The connection was closed (CloseReceive from another
+			// goroutine) while this receive was parked; the close path
+			// broadcast the condition so we see it promptly.
+			l.lock.Unlock()
+			return 0, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
 		}
 		m = l.availableLocked(d)
 		if m != nil {

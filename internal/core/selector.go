@@ -1,0 +1,380 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/spinlock"
+)
+
+// ErrSelectorClosed is returned by operations on a closed Selector.
+var ErrSelectorClosed = errors.New("mpf: selector closed")
+
+// Selector multiplexes many receive connections of one process over a
+// single wait, epoll-style. Registered circuits push their identifier
+// onto the selector's ready list when a message is enqueued (or the
+// circuit is torn down), so a Wait wakes only when one of *its*
+// circuits fires and does O(ready) work per wakeup — not O(registered),
+// and not one wakeup per Send anywhere in the facility like the global
+// activity pulse this replaces.
+//
+// Readiness is level-triggered: a circuit Wait reports stays armed and
+// is reported again by subsequent Waits until a harvest observes it
+// drained, so partial consumption cannot strand queued messages. For
+// FCFS connections readiness is also advisory, in exactly the sense of
+// the paper's check_receive caveat: a sibling FCFS receiver may claim
+// the message between Wait returning and the caller receiving, so
+// drain ready circuits with TryReceive, never a blocking Receive.
+//
+// A Selector belongs to one process id. Like a Process, it must not be
+// used from two goroutines at once, except for Close, which may be
+// called from anywhere to abort a parked Wait.
+type Selector struct {
+	f   *Facility
+	pid int
+
+	// notify is the parked Wait's wakeup; capacity 1, so a fire during
+	// the harvest phase is retained and the next park returns
+	// immediately. w is the single registration entry shared by every
+	// circuit this selector watches.
+	notify chan struct{}
+	w      *muxWaiter
+
+	// mu guards the fields below. Lock order: shard lock → LNVC lock →
+	// mu (markReady runs under the firing LNVC's lock), so Selector
+	// methods must never acquire an LNVC lock while holding mu.
+	mu      spinlock.TAS
+	regs    map[ID]selReg
+	ready   []ID // circuits fired since the last harvest, deduplicated
+	inReady map[ID]bool
+	closed  bool
+}
+
+// selReg pins a registration to one incarnation of one descriptor: l
+// is the descriptor the waiter entry was placed on and gen its
+// generation at registration time. A harvest that finds either changed
+// is looking at a recycled descriptor, not the registered circuit.
+type selReg struct {
+	l   *lnvc
+	gen uint64
+}
+
+// NewSelector creates a selector for pid's receive connections.
+func (f *Facility) NewSelector(pid int) (*Selector, error) {
+	if err := f.checkPID(pid); err != nil {
+		return nil, err
+	}
+	s := &Selector{
+		f:       f,
+		pid:     pid,
+		notify:  make(chan struct{}, 1),
+		regs:    make(map[ID]selReg),
+		inReady: make(map[ID]bool),
+	}
+	s.w = &muxWaiter{sel: s}
+	return s, nil
+}
+
+// markReady records that circuit id fired and wakes a parked Wait.
+// Called under the firing LNVC's lock. A fire for a circuit that is no
+// longer registered — a recycled descriptor carrying a stale
+// registration the owner has not yet removed — is dropped here, which
+// is what makes descriptor recycling safe for selectors.
+func (s *Selector) markReady(id ID) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if _, ok := s.regs[id]; !ok {
+		s.mu.Unlock()
+		return
+	}
+	s.markReadyLockedMu(id)
+	s.mu.Unlock()
+	s.tapNotify()
+}
+
+// markReadyLockedMu queues id for the next harvest; caller holds mu
+// and has checked regs/closed.
+func (s *Selector) markReadyLockedMu(id ID) {
+	if !s.inReady[id] {
+		s.inReady[id] = true
+		s.ready = append(s.ready, id)
+	}
+}
+
+func (s *Selector) tapNotify() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Add registers a circuit; pid must hold a receive connection on it. A
+// circuit with a message already available is immediately ready. The
+// whole registration happens under the circuit's lock, so it cannot
+// interleave with a concurrent Close (which must take the same lock to
+// unregister) — Close either sees the registration and removes it, or
+// arrives first and makes Add fail with ErrSelectorClosed.
+func (s *Selector) Add(id ID) error {
+	l, err := s.f.lookup(id)
+	if err != nil {
+		return err
+	}
+	l.lock.Lock()
+	d := l.recvs[s.pid]
+	if s.f.slots[id].Load() != l || d == nil {
+		l.lock.Unlock()
+		return fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, s.pid)
+	}
+	var stale selReg
+	avail := l.availableLocked(d) != nil
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.lock.Unlock()
+		return ErrSelectorClosed
+	}
+	if old, dup := s.regs[id]; dup {
+		if old.l == l && old.gen == l.gen {
+			s.mu.Unlock()
+			l.lock.Unlock()
+			return fmt.Errorf("%w: circuit %d already in selector", ErrAlreadyOpen, id)
+		}
+		// A previous circuit died and its id was recycled to this new
+		// one before the owner noticed: replace the dead registration
+		// (its waiter entry is cleaned up below, outside l's lock).
+		stale = old
+		delete(s.inReady, id)
+	}
+	s.regs[id] = selReg{l: l, gen: l.gen}
+	if avail {
+		s.markReadyLockedMu(id)
+	}
+	s.mu.Unlock()
+	l.addWaiterLocked(s.w)
+	l.lock.Unlock()
+	if stale.l != nil {
+		s.unregister(stale)
+	}
+	if avail {
+		s.tapNotify()
+	}
+	return nil
+}
+
+// unregister removes reg's waiter entry from its descriptor — unless
+// the descriptor has been recycled since the registration was made
+// (generation mismatch): reset already cleared the stale entry then,
+// and any s.w now on the list belongs to a *newer* registration of
+// this selector on the recycled descriptor, which identity-based
+// removal would otherwise strip, permanently losing its wakeups.
+func (s *Selector) unregister(reg selReg) {
+	reg.l.lock.Lock()
+	if reg.l.gen == reg.gen {
+		reg.l.removeWaiterLocked(s.w)
+	}
+	reg.l.lock.Unlock()
+}
+
+// Remove unregisters a circuit. Messages queued on it stay queued; the
+// connection itself is untouched.
+func (s *Selector) Remove(id ID) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSelectorClosed
+	}
+	reg, ok := s.regs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: circuit %d not in selector", ErrNotConnected, id)
+	}
+	delete(s.regs, id)
+	// The id may still sit in the ready slice; clearing inReady makes
+	// the next harvest skip it.
+	delete(s.inReady, id)
+	s.mu.Unlock()
+
+	s.unregister(reg)
+	return nil
+}
+
+// Has reports whether id is currently registered.
+func (s *Selector) Has(id ID) bool {
+	s.mu.Lock()
+	_, ok := s.regs[id]
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of registered circuits.
+func (s *Selector) Len() int {
+	s.mu.Lock()
+	n := len(s.regs)
+	s.mu.Unlock()
+	return n
+}
+
+// Close unregisters every circuit, wakes a parked Wait, and makes all
+// further operations fail with ErrSelectorClosed. Idempotent.
+func (s *Selector) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	regs := make([]selReg, 0, len(s.regs))
+	for _, reg := range s.regs {
+		regs = append(regs, reg)
+	}
+	clear(s.regs)
+	clear(s.inReady)
+	s.ready = nil
+	s.mu.Unlock()
+	for _, reg := range regs {
+		s.unregister(reg)
+	}
+	s.tapNotify()
+	return nil
+}
+
+// Wait blocks until at least one registered circuit has a deliverable
+// message for this process, then returns the ready circuits' ids. If a
+// registered circuit's receive connection is closed — or the circuit
+// deleted — while waiting, Wait drops that registration and returns
+// ErrNotConnected rather than parking forever (other circuits'
+// readiness is retained for the next Wait); facility Shutdown returns
+// ErrShutdown, and Close returns ErrSelectorClosed.
+func (s *Selector) Wait() ([]ID, error) { return s.wait(nil) }
+
+// WaitDeadline is Wait bounded by d; it returns ErrTimeout if no
+// circuit becomes ready in time.
+func (s *Selector) WaitDeadline(d time.Duration) ([]ID, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("%w: non-positive deadline %v", ErrTimeout, d)
+	}
+	deadline := time.Now().Add(d)
+	return s.wait(&deadline)
+}
+
+type firedReg struct {
+	id ID
+	selReg
+}
+
+func (s *Selector) wait(deadline *time.Time) ([]ID, error) {
+	f := s.f
+	woken := false
+	var fired []firedReg // reused across rounds
+	for {
+		if f.stopped.Load() {
+			return nil, ErrShutdown
+		}
+		// Harvest the circuits that fired since the last round. Only
+		// these are inspected: O(ready) per wakeup.
+		fired = fired[:0]
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrSelectorClosed
+		}
+		if len(s.regs) == 0 {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: Wait on a selector with no circuits", ErrBadLNVC)
+		}
+		for _, id := range s.ready {
+			if !s.inReady[id] {
+				continue // removed since it fired
+			}
+			delete(s.inReady, id)
+			if reg, ok := s.regs[id]; ok {
+				fired = append(fired, firedReg{id, reg})
+			}
+		}
+		s.ready = s.ready[:0]
+		s.mu.Unlock()
+
+		var out []ID
+		var dead error
+		for _, fr := range fired {
+			fr.l.lock.Lock()
+			d := fr.l.recvs[s.pid]
+			// The generation check rejects a descriptor — and id —
+			// recycled to a new circuit: the registered circuit is
+			// gone even though the slot and connection test would
+			// pass against its successor.
+			connected := f.slots[fr.id].Load() == fr.l && fr.l.gen == fr.gen && d != nil
+			avail := connected && fr.l.availableLocked(d) != nil
+			fr.l.lock.Unlock()
+			if !connected {
+				// Closed under a parked selector: drop the dead
+				// registration so later Waits can proceed, and report.
+				s.dropReg(fr.id, fr.selReg)
+				dead = fmt.Errorf("%w: circuit %d closed while in selector", ErrNotConnected, fr.id)
+				continue
+			}
+			if avail {
+				out = append(out, fr.id)
+			}
+		}
+		if woken {
+			f.stats.muxWakeups.Add(1)
+			if len(out) == 0 && dead == nil {
+				f.stats.muxSpurious.Add(1)
+			}
+			woken = false
+		}
+		// Level-trigger: every circuit reported ready stays on the
+		// ready list until a later harvest observes it drained, so a
+		// caller that consumes only part of a circuit's queue — or
+		// none of it, when the error below preempts the results —
+		// sees it again on the next Wait instead of parking over
+		// deliverable messages. No notify tap is needed: the next
+		// wait() harvests before it can park.
+		s.remarkReady(out)
+		if dead != nil {
+			return nil, dead
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+
+		ok, err := parkWait(s.notify, f.stop, deadline)
+		if err != nil {
+			return nil, err
+		}
+		woken = ok
+	}
+}
+
+// remarkReady re-queues still-registered circuits for the next
+// harvest.
+func (s *Selector) remarkReady(ids []ID) {
+	if len(ids) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if !s.closed {
+		for _, id := range ids {
+			if _, ok := s.regs[id]; ok {
+				s.markReadyLockedMu(id)
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// dropReg removes a registration whose circuit died while parked.
+func (s *Selector) dropReg(id ID, reg selReg) {
+	s.mu.Lock()
+	if s.regs[id] == reg {
+		delete(s.regs, id)
+		delete(s.inReady, id)
+	}
+	s.mu.Unlock()
+	s.unregister(reg)
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSelectorChurnStress is the selector analogue of
+// TestShardedRegistryChurnNoLeaks (and runs in the same CI race-subset
+// job): many goroutines churn open → Add → send → Wait → Remove →
+// close on a small overlapping set of circuit names, so circuit
+// creation, deletion and descriptor recycling race constantly against
+// selector registration, firing and harvesting. The markReady guard
+// that drops fires from recycled descriptors, the reset path that
+// clears stale waiter lists, and the remove-by-identity unregister are
+// all on the hot path here. At the end nothing may leak and no
+// stale registration may survive.
+func TestSelectorChurnStress(t *testing.T) {
+	const (
+		workers = 8
+		names   = 4
+		rounds  = 150
+	)
+	f, err := Init(Config{
+		MaxLNVCs:         names + 2,
+		MaxProcesses:     workers,
+		BlocksPerProcess: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			sel, err := f.NewSelector(pid)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sel.Close()
+			rng := rand.New(rand.NewSource(int64(pid)*104729 + 7))
+			buf := make([]byte, 16)
+			for r := 0; r < rounds; r++ {
+				name := fmt.Sprintf("selchurn-%d", rng.Intn(names))
+				rid, err := f.OpenReceive(pid, name, FCFS)
+				if err != nil {
+					if errors.Is(err, ErrAlreadyOpen) || errors.Is(err, ErrTooManyLNVCs) {
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				if err := sel.Add(rid); err != nil {
+					// A recycled id may collide with a registration
+					// this selector still holds from an earlier round
+					// only if we failed to Remove — that is a bug.
+					t.Errorf("Add(%d): %v", rid, err)
+					return
+				}
+				if rng.Intn(2) == 0 {
+					sid, err := f.OpenSend(pid, name)
+					if err == nil {
+						if err := f.Send(pid, sid, []byte("stress")); err != nil {
+							t.Error(err)
+							return
+						}
+						if err := f.CloseSend(pid, sid); err != nil {
+							t.Error(err)
+							return
+						}
+					} else if !errors.Is(err, ErrAlreadyOpen) && !errors.Is(err, ErrTooManyLNVCs) {
+						t.Error(err)
+						return
+					}
+				}
+				ready, err := sel.WaitDeadline(time.Millisecond)
+				if err == nil {
+					for _, id := range ready {
+						if _, _, err := f.TryReceive(pid, id, buf); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				} else if !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrNotConnected) {
+					t.Error(err)
+					return
+				}
+				// ErrNotConnected from Wait means another worker's close
+				// deleted a circuit whose descriptor we were parked on —
+				// the registration was dropped for us; Remove then
+				// reports it is already gone.
+				if err := sel.Remove(rid); err != nil && !errors.Is(err, ErrNotConnected) {
+					t.Error(err)
+					return
+				}
+				if err := f.CloseReceive(pid, rid); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := f.LNVCCount(); n != 0 {
+		t.Errorf("%d circuits still live after churn", n)
+	}
+	st := f.Stats()
+	if st.LNVCsCreated != st.LNVCsDeleted {
+		t.Errorf("descriptor leak: %d created, %d deleted", st.LNVCsCreated, st.LNVCsDeleted)
+	}
+	if free, max := f.FreeIDCount(), f.Config().MaxLNVCs; free != max {
+		t.Errorf("identifier leak: %d of %d ids free", free, max)
+	}
+	if free, total := f.Arena().FreeBlocks(), f.Arena().NumBlocks(); free != total {
+		t.Errorf("block leak: %d of %d arena blocks free", free, total)
+	}
+	if err := f.Arena().CheckFreeList(); err != nil {
+		t.Errorf("arena free list corrupt: %v", err)
+	}
+	if st.Opens != st.Closes {
+		t.Errorf("connection imbalance: %d opens, %d closes", st.Opens, st.Closes)
+	}
+	f.Shutdown()
+}
+
+// TestSelectorConcurrentSendersFairness exercises one selector fed by
+// many concurrent senders: every message must be drained and no fire
+// may be lost even when sends race the harvest.
+func TestSelectorConcurrentSendersFairness(t *testing.T) {
+	const (
+		senders = 4
+		perSend = 200
+	)
+	f, err := Init(Config{MaxLNVCs: senders + 2, MaxProcesses: senders + 1, BlocksPerProcess: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	consumer := senders // pid
+	sel, err := f.NewSelector(consumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+	recvs := make(map[ID]int) // id → sender index
+	for i := 0; i < senders; i++ {
+		name := fmt.Sprintf("fair-%d", i)
+		rid, err := f.OpenReceive(consumer, name, FCFS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sel.Add(rid); err != nil {
+			t.Fatal(err)
+		}
+		recvs[rid] = i
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sid, err := f.OpenSend(i, fmt.Sprintf("fair-%d", i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for k := 0; k < perSend; k++ {
+				if err := f.Send(i, sid, []byte{byte(i), byte(k)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	counts := make([]int, senders)
+	total := 0
+	buf := make([]byte, 4)
+	for total < senders*perSend {
+		ready, err := sel.WaitDeadline(5 * time.Second)
+		if err != nil {
+			t.Fatalf("after %d of %d: %v", total, senders*perSend, err)
+		}
+		for _, id := range ready {
+			for {
+				_, ok, err := f.TryReceive(consumer, id, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				counts[recvs[id]]++
+				total++
+			}
+		}
+	}
+	wg.Wait()
+	for i, c := range counts {
+		if c != perSend {
+			t.Errorf("sender %d: drained %d messages, want %d", i, c, perSend)
+		}
+	}
+}

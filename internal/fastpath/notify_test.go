@@ -1,0 +1,126 @@
+package fastpath
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRingNotifyOnPublish checks the readiness hook fires once per
+// publish — per message for TrySend, per batch for TrySendBatch — and
+// on Close.
+func TestRingNotifyOnPublish(t *testing.T) {
+	r, err := NewRing(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	r.SetNotify(func() { fired++ })
+	if ok, err := r.TrySend([]byte("a")); err != nil || !ok {
+		t.Fatalf("TrySend: ok=%v err=%v", ok, err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d after one send, want 1", fired)
+	}
+	if n, err := r.TrySendBatch([][]byte{[]byte("b"), []byte("c"), []byte("d")}); err != nil || n != 3 {
+		t.Fatalf("TrySendBatch: n=%d err=%v", n, err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d after a batch, want 2 (one per publish)", fired)
+	}
+	r.SetNotify(nil)
+	if ok, _ := r.TrySend([]byte("e")); !ok {
+		t.Fatal("TrySend after clearing notify")
+	}
+	if fired != 2 {
+		t.Fatalf("cleared hook still fired (%d)", fired)
+	}
+	r.SetNotify(func() { fired++ })
+	r.Close()
+	if fired != 3 {
+		t.Fatalf("fired %d after Close, want 3", fired)
+	}
+}
+
+// TestRingNotifyEventLoop drives the intended shape: one consumer
+// draining two rings, parked on a single channel that each ring's
+// notify hook posts to — the fastpath mirror of the LNVC waiter lists.
+func TestRingNotifyEventLoop(t *testing.T) {
+	mkRing := func(wake chan struct{}) *Ring {
+		r, err := NewRing(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SetNotify(func() {
+			select {
+			case wake <- struct{}{}:
+			default:
+			}
+		})
+		return r
+	}
+	wake := make(chan struct{}, 1)
+	rings := []*Ring{mkRing(wake), mkRing(wake)}
+
+	const perRing = 500
+	go func() {
+		for k := 0; k < perRing; k++ {
+			for i, r := range rings {
+				if err := r.Send([]byte{byte(i), byte(k)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		for _, r := range rings {
+			r.Close()
+		}
+	}()
+
+	buf := make([]byte, 8)
+	counts := make([]int, len(rings))
+	live := len(rings)
+	closed := make([]bool, len(rings))
+	for live > 0 {
+		progressed := false
+		for i, r := range rings {
+			if closed[i] {
+				continue
+			}
+			for {
+				n, ok, err := r.TryRecv(buf)
+				if errors.Is(err, ErrClosed) {
+					closed[i] = true
+					live--
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				if n != 2 || buf[0] != byte(i) {
+					t.Fatalf("ring %d delivered n=%d buf=%v", i, n, buf[:n])
+				}
+				counts[i]++
+				progressed = true
+			}
+		}
+		if live == 0 {
+			break
+		}
+		if !progressed {
+			select {
+			case <-wake:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("event loop starved: counts=%v", counts)
+			}
+		}
+	}
+	for i, c := range counts {
+		if c != perRing {
+			t.Errorf("ring %d: drained %d records, want %d", i, c, perRing)
+		}
+	}
+}

@@ -47,6 +47,9 @@
 // RecvConn.Check. Send is asynchronous; Receive blocks; Check is a
 // non-blocking probe whose answer is advisory for FCFS connections
 // (another FCFS receiver may win the race — the caveat of paper §2).
+// Beyond the eight, Process.ReceiveAny waits on several circuits at
+// once and Process.NewSelector builds an event loop over any number
+// of them with epoll-style per-circuit wakeups (see Selector).
 //
 // # Circuit lifetime and lost messages
 //
@@ -143,6 +146,13 @@ func WithRegistryShards(n int) Option { return func(c *core.Config) { c.Registry
 // WithFailFastSend makes Send return ErrNoMemory when the region is
 // exhausted instead of blocking until blocks are recycled.
 func WithFailFastSend() Option { return func(c *core.Config) { c.SendPolicy = core.FailFast } }
+
+// WithGlobalPulseMux reverts ReceiveAny to the pre-selector wakeup
+// scheme — one facility-wide pulse per Send waking every parked
+// waiter. It exists only as the ablation baseline the selector-scaling
+// benchmark (mpfbench -select) measures the thundering herd against;
+// leave it off in real use.
+func WithGlobalPulseMux() Option { return func(c *core.Config) { c.GlobalPulseMux = true } }
 
 // WithTracer installs a tracer receiving one Event per primitive call.
 func WithTracer(t Tracer) Option { return func(c *core.Config) { c.Tracer = t } }
