@@ -5,6 +5,8 @@
 //	mpfbench [-fig N] [-mode simulated|native|both] [-quick]
 //	mpfbench -contention [-quick]
 //	mpfbench -select [-quick]
+//	mpfbench -copies [-quick]
+//	mpfbench -json BENCH.json [-quick]
 //	mpfbench -ablate schemes|blocksize|lockcost|paradigm [-quick]
 //
 // With no -fig it regenerates all six result figures (3-8). Simulated
@@ -21,6 +23,15 @@
 // delivered message versus idle-circuit count for the Selector and the
 // per-circuit-waiter ReceiveAny against the legacy global activity
 // pulse (the thundering herd).
+//
+// -copies runs the copy ablation: delivered throughput across payload
+// sizes and BROADCAST fan-out for the paper plane (classic chains, two
+// structural copies), the span-allocated copy plane, and the zero-copy
+// plane (loans in, views out).
+//
+// -json measures the machine-readable performance trajectory — the
+// contention, selector and copies headlines — and writes it to the
+// given path (default BENCH.json); CI uploads the file as an artifact.
 package main
 
 import (
@@ -41,7 +52,40 @@ func main() {
 	ablate := flag.String("ablate", "", "ablation study instead of figures: schemes, blocksize or lockcost")
 	contention := flag.Bool("contention", false, "contention-scaling benchmark: sharded registry + batched sends vs the paper's single lock")
 	sel := flag.Bool("select", false, "selector-scaling benchmark: per-circuit wakeups vs the global activity pulse")
+	copies := flag.Bool("copies", false, "copy ablation: paper plane vs span copy plane vs zero-copy loan/view plane")
+	jsonOut := flag.String("json", "", "measure the perf trajectory and write it as JSON to this path (use BENCH.json for the CI artifact)")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		path := *jsonOut
+		summary, err := bench.Summary(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpfbench: json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := summary.Write(path); err != nil {
+			fmt.Fprintf(os.Stderr, "mpfbench: json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (contention %.1fx, selector %.1fx, copies", path,
+			summary.Contention.Advantage, summary.Selector.WakeupAdvantage)
+		for _, p := range summary.Copies {
+			fmt.Printf(" %.1fx@%dB/fan%d", p.Advantage, p.PayloadBytes, p.FanOut)
+		}
+		fmt.Println(")")
+		return
+	}
+
+	if *copies {
+		bySize, byFanout, err := bench.CopiesSweep(bench.Config{Mode: bench.Native, Quick: *quick})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpfbench: copies: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bySize.Render())
+		fmt.Println(byFanout.Render())
+		return
+	}
 
 	if *sel {
 		fig, err := bench.SelectorSweep(bench.Config{Mode: bench.Native, Quick: *quick})

@@ -12,14 +12,20 @@
 // Beyond the paper, the facility shards its circuit name registry so
 // opens and closes on distinct circuits never contend (DESIGN.md §4),
 // offers batched send/receive primitives that pay the per-message
-// fixed costs once per batch (DESIGN.md §6), and multiplexes
-// thousands of circuits per goroutine through an event-driven
-// Selector with per-circuit wakeups (DESIGN.md §10); mpfbench
-// -contention and mpfbench -select quantify these against the paper's
-// single-lock, single-pulse layout. CI (.github/workflows/ci.yml)
-// gates build, vet, gofmt, the unit suite, a race-detector subset, a
-// benchmark smoke and a protocol-invariant fuzz smoke on every
-// change.
+// fixed costs once per batch (DESIGN.md §6), multiplexes thousands of
+// circuits per goroutine through an event-driven Selector with
+// per-circuit wakeups (DESIGN.md §10), and carries a zero-copy payload
+// plane (DESIGN.md §11): contiguous-span block allocation, loaned send
+// buffers written in place (SendConn.Loan) and pinned receive views
+// read in place (RecvConn.ReceiveView), which make the paper's two
+// structural copies optional — BROADCAST fan-out reads one shared
+// payload instance instead of taking one copy per receiver. mpfbench
+// -contention, -select and -copies quantify these against the paper's
+// single-lock, single-pulse, two-copy layout, and mpfbench -json
+// records the headline numbers as a machine-readable BENCH.json. CI
+// (.github/workflows/ci.yml) gates build, vet, gofmt, the unit suite,
+// a race-detector subset, a benchmark smoke, the perf-trajectory
+// artifact and a protocol-invariant fuzz smoke on every change.
 //
 // See README.md and DESIGN.md.
 package repro

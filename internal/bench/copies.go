@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+	"repro/mpf"
+)
+
+// Copy-ablation benchmark. The paper's fundamental data structure
+// forces two payload copies per message — message_send copies the user
+// buffer into linked blocks, message_receive copies the blocks into the
+// user buffer — and its §5 conclusion proposes restricting generality
+// to remove them. The zero-copy plane (SendConn.Loan / RecvConn.
+// ReceiveView) makes both copies optional on the *general* LNVC
+// implementation; this benchmark quantifies what they cost, across
+// payload sizes and across BROADCAST fan-out, where the copying plane
+// pays one receive copy per receiver but views share one payload
+// instance. Three planes are measured:
+//
+//   - the paper plane: classic single-block chains, both copies — the
+//     faithful baseline;
+//   - the copy plane: contiguous-span allocation, both copies — isolates
+//     the allocator from the copies;
+//   - the zero-copy plane: span allocation, loans in, views out — no
+//     structural copies at all.
+
+// CopyPlane selects the payload-plane configuration a copies run uses.
+type CopyPlane uint8
+
+const (
+	// PlaneClassicCopy is the paper's layout: classic chains, both
+	// copies (Send/Receive).
+	PlaneClassicCopy CopyPlane = iota
+	// PlaneSpanCopy keeps the copies but allocates contiguous spans.
+	PlaneSpanCopy
+	// PlaneZeroCopy sends through loans and receives through views:
+	// zero structural copies.
+	PlaneZeroCopy
+)
+
+// String names the plane for figure labels.
+func (p CopyPlane) String() string {
+	switch p {
+	case PlaneClassicCopy:
+		return "paper plane (classic chains, 2 copies)"
+	case PlaneSpanCopy:
+		return "copy plane (spans, 2 copies)"
+	case PlaneZeroCopy:
+		return "zero-copy plane (loan/view)"
+	default:
+		return fmt.Sprintf("CopyPlane(%d)", uint8(p))
+	}
+}
+
+// CopiesResult is one copies run's outcome.
+type CopiesResult struct {
+	// MsgsPerSec is message deliveries per second summed across all
+	// receivers (a fan-out of 8 delivers each message 8 times).
+	MsgsPerSec float64
+	// MBPerSec is delivered payload megabytes per second.
+	MBPerSec float64
+	// Stats is the facility's counter snapshot, carrying the copy
+	// ledger (PayloadCopiesIn/Out, LoanSends, ViewReceives) the gate
+	// test asserts on.
+	Stats mpf.Stats
+}
+
+// NativeCopies moves msgs messages of msgLen bytes from one sender to
+// fanout BROADCAST receivers over the selected payload plane and
+// reports delivery throughput plus the facility's copy ledger. The
+// receivers validate a byte at each end of every payload, so the
+// zero-copy leg really does touch the shared instance.
+// copiesInflight sizes the region: how many messages may be in flight.
+var copiesInflight = 16
+
+func NativeCopies(plane CopyPlane, msgLen, fanout, msgs int) (CopiesResult, error) {
+	if msgLen < 1 || fanout < 1 || msgs < 1 {
+		return CopiesResult{}, fmt.Errorf("bench: copies(msgLen=%d, fanout=%d, msgs=%d)", msgLen, fanout, msgs)
+	}
+	opts := []mpf.Option{
+		mpf.WithMaxProcesses(fanout + 1),
+		mpf.WithMaxLNVCs(4),
+		mpf.WithBlocksPerProcess(blocksFor(msgLen, copiesInflight)),
+	}
+	if plane == PlaneClassicCopy {
+		opts = append(opts, mpf.WithClassicChains())
+	}
+	fac, err := mpf.New(opts...)
+	if err != nil {
+		return CopiesResult{}, err
+	}
+	defer fac.Shutdown()
+
+	var ready sync.WaitGroup
+	ready.Add(fanout)
+	payload := make([]byte, msgLen)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	start := time.Now()
+	err = fac.Run(fanout+1, func(p *mpf.Process) error {
+		if p.PID() == 0 {
+			s, err := p.OpenSend("copies")
+			if err != nil {
+				return err
+			}
+			ready.Wait() // every receiver connected: all see the stream
+			for i := 0; i < msgs; i++ {
+				if plane == PlaneZeroCopy {
+					ln, err := s.Loan(msgLen)
+					if err != nil {
+						return err
+					}
+					b, ok := ln.Bytes()
+					if !ok {
+						// Fragmented loan: fill through the segment walk.
+						ln.CopyFrom(payload)
+					} else {
+						b[0], b[msgLen-1] = byte(i), byte(i)
+					}
+					if err := ln.Commit(); err != nil {
+						return err
+					}
+				} else {
+					payload[0], payload[msgLen-1] = byte(i), byte(i)
+					if err := s.Send(payload); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		r, err := p.OpenReceive("copies", mpf.Broadcast)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		ready.Done()
+		buf := make([]byte, msgLen)
+		for i := 0; i < msgs; i++ {
+			if plane == PlaneZeroCopy {
+				v, err := r.ReceiveView()
+				if err != nil {
+					return err
+				}
+				if b, ok := v.Bytes(); ok {
+					if b[0] != byte(i) || b[msgLen-1] != byte(i) {
+						v.Release()
+						return fmt.Errorf("bench: copies receiver %d: bad payload at msg %d", p.PID(), i)
+					}
+				} else {
+					v.Segments(func(seg []byte) bool { _ = seg[0]; return true })
+				}
+				v.Release()
+			} else {
+				n, err := r.Receive(buf)
+				if err != nil {
+					return err
+				}
+				if n != msgLen || buf[0] != byte(i) || buf[msgLen-1] != byte(i) {
+					return fmt.Errorf("bench: copies receiver %d: bad payload at msg %d", p.PID(), i)
+				}
+			}
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return CopiesResult{}, err
+	}
+	deliveries := msgs * fanout
+	return CopiesResult{
+		MsgsPerSec: rate(deliveries, elapsed),
+		MBPerSec:   rate(deliveries, elapsed) * float64(msgLen) / (1 << 20),
+		Stats:      fac.Stats(),
+	}, nil
+}
+
+// CopiesPayloadSizes is the payload-size sweep (bytes) of the copies
+// figure; CopiesFanOuts is the BROADCAST fan-out sweep at
+// CopiesFanOutPayload bytes.
+var (
+	CopiesPayloadSizes  = []int{64, 512, 4096, 16384}
+	CopiesFanOuts       = []int{1, 2, 4, 8}
+	CopiesFanOutPayload = 4096
+)
+
+// CopiesSweep runs the copy ablation and returns two figures: delivered
+// throughput versus payload size (single receiver), and aggregate
+// delivered throughput versus BROADCAST fan-out (4 KiB payloads), one
+// series per payload plane in each.
+func CopiesSweep(cfg Config) (bySize, byFanout *stats.Figure, err error) {
+	planes := []CopyPlane{PlaneClassicCopy, PlaneSpanCopy, PlaneZeroCopy}
+	msgs := cfg.scale(4000, 600)
+
+	bySize = stats.NewFigure("Copy Ablation — Delivered MB/s vs. Payload Size (native, 1 receiver)",
+		"payload bytes", "MB/sec")
+	sizes := CopiesPayloadSizes
+	if cfg.Quick {
+		sizes = []int{512, 4096}
+	}
+	for _, plane := range planes {
+		series := bySize.AddSeries(plane.String())
+		for _, size := range sizes {
+			res, err := NativeCopies(plane, size, 1, msgs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("copies size=%d plane=%s: %w", size, plane, err)
+			}
+			series.Add(size, res.MBPerSec)
+		}
+	}
+
+	byFanout = stats.NewFigure(
+		fmt.Sprintf("Copy Ablation — Aggregate Deliveries/s vs. BROADCAST Fan-Out (native, %d-byte payloads)", CopiesFanOutPayload),
+		"receivers", "deliveries/sec")
+	fanouts := CopiesFanOuts
+	if cfg.Quick {
+		fanouts = []int{1, 8}
+	}
+	for _, plane := range planes {
+		series := byFanout.AddSeries(plane.String())
+		for _, n := range fanouts {
+			res, err := NativeCopies(plane, CopiesFanOutPayload, n, msgs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("copies fanout=%d plane=%s: %w", n, plane, err)
+			}
+			series.Add(n, res.MsgsPerSec)
+		}
+	}
+	return bySize, byFanout, nil
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkZeroCopyAdvantage reports delivered bytes/op for the three
+// payload planes at the sizes where copies dominate. The companion gate
+// (TestZeroCopyAdvantage) enforces the headline ratio; this benchmark
+// gives the continuous trajectory CI records.
+func BenchmarkZeroCopyAdvantage(b *testing.B) {
+	for _, plane := range []CopyPlane{PlaneClassicCopy, PlaneSpanCopy, PlaneZeroCopy} {
+		for _, size := range []int{4096, 16384} {
+			b.Run(fmt.Sprintf("%s/%dB", plane, size), func(b *testing.B) {
+				msgs := b.N
+				if msgs < 64 {
+					msgs = 64
+				}
+				res, err := NativeCopies(plane, size, 1, msgs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(size))
+				b.ReportMetric(res.MsgsPerSec, "msgs/s")
+			})
+		}
+	}
+}
+
+// TestZeroCopyAdvantage is the copy ablation's gate: at payload sizes
+// of 4 KiB and up, the loan/view plane must deliver at least twice the
+// throughput of the paper's copying plane (classic chains, both
+// structural copies). Throughput comparisons on shared CI boxes are
+// noisy, so the gate takes the best of five attempts, like the
+// sharded-registry gate.
+func TestZeroCopyAdvantage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison skipped in -short mode")
+	}
+	const (
+		msgs = 3000
+		want = 2.0
+	)
+	for _, size := range []int{4096, 16384} {
+		best := 0.0
+		for attempt := 0; attempt < 5; attempt++ {
+			base, err := NativeCopies(PlaneClassicCopy, size, 1, msgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			zero, err := NativeCopies(PlaneZeroCopy, size, 1, msgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := zero.Stats.PayloadCopiesOut; got != 0 {
+				t.Fatalf("size %d: zero-copy leg recorded %d receive-side copies", size, got)
+			}
+			ratio := zero.MsgsPerSec / base.MsgsPerSec
+			t.Logf("size %d attempt %d: copy plane %.0f msgs/s, zero-copy plane %.0f msgs/s (%.2fx)",
+				size, attempt, base.MsgsPerSec, zero.MsgsPerSec, ratio)
+			if ratio > best {
+				best = ratio
+			}
+			if best >= want {
+				break
+			}
+		}
+		if best < want {
+			t.Errorf("size %d: loan/view plane is %.2fx the copying plane, want >= %.1fx", size, best, want)
+		}
+	}
+}
+
+// TestBroadcastFanOutNoReceiveCopies is the deterministic half of the
+// gate: BROADCAST fan-out to 8 receivers over views performs zero
+// receive-side payload copies — every receiver reads the one shared
+// payload instance — and zero send-side copies, asserted through the
+// facility's copy ledger.
+func TestBroadcastFanOutNoReceiveCopies(t *testing.T) {
+	const (
+		fanout = 8
+		msgs   = 200
+		size   = 4096
+	)
+	res, err := NativeCopies(PlaneZeroCopy, size, fanout, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.PayloadCopiesOut != 0 {
+		t.Errorf("PayloadCopiesOut = %d, want 0", st.PayloadCopiesOut)
+	}
+	if st.PayloadCopiesIn != 0 {
+		t.Errorf("PayloadCopiesIn = %d, want 0", st.PayloadCopiesIn)
+	}
+	if want := uint64(fanout * msgs); st.ViewReceives != want {
+		t.Errorf("ViewReceives = %d, want %d", st.ViewReceives, want)
+	}
+	if want := uint64(msgs); st.LoanSends != want {
+		t.Errorf("LoanSends = %d, want %d", st.LoanSends, want)
+	}
+	// The copying plane on the identical workload pays fanout copies per
+	// message — the bill the views erase.
+	copyRes, err := NativeCopies(PlaneSpanCopy, size, fanout, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(fanout * msgs); copyRes.Stats.PayloadCopiesOut != want {
+		t.Errorf("copy plane PayloadCopiesOut = %d, want %d", copyRes.Stats.PayloadCopiesOut, want)
+	}
+}
+
+// TestCopiesSweepQuick exercises the ablation sweep end-to-end.
+func TestCopiesSweepQuick(t *testing.T) {
+	bySize, byFanout, err := CopiesSweep(Config{Mode: Native, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bySize.Series) != 3 {
+		t.Fatalf("size figure has %d series, want 3", len(bySize.Series))
+	}
+	for _, s := range bySize.Series {
+		if len(s.Points) != 2 {
+			t.Errorf("size series %q has %d points, want 2", s.Label, len(s.Points))
+		}
+	}
+	if len(byFanout.Series) != 3 {
+		t.Fatalf("fanout figure has %d series, want 3", len(byFanout.Series))
+	}
+	for _, s := range byFanout.Series {
+		if len(s.Points) != 2 {
+			t.Errorf("fanout series %q has %d points, want 2", s.Label, len(s.Points))
+		}
+	}
+}

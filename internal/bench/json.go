@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Machine-readable performance trajectory. Summary runs compact
+// versions of the three headline benchmarks — contention scaling
+// (PR 1), selector wakeups (PR 2) and the copies ablation (PR 3) —
+// and JSONSummary.Write serialises the result as BENCH.json, which CI
+// uploads as an artifact so the repository's throughput history can be
+// charted across commits without re-parsing log text.
+
+// JSONSummary is the BENCH.json schema. All throughput figures are
+// operations per second; ratios are dimensionless.
+type JSONSummary struct {
+	// Schema bumps when a field changes meaning, so downstream chart
+	// tooling can fail loudly instead of plotting nonsense.
+	Schema int `json:"schema"`
+
+	Contention struct {
+		Workers                  int     `json:"workers"`
+		Batch                    int     `json:"batch"`
+		UnshardedMsgsPerSec      float64 `json:"unsharded_msgs_per_sec"`
+		ShardedBatchedMsgsPerSec float64 `json:"sharded_batched_msgs_per_sec"`
+		Advantage                float64 `json:"advantage"`
+	} `json:"contention"`
+
+	Selector struct {
+		Waiters                int     `json:"waiters"`
+		CircuitsPerWaiter      int     `json:"circuits_per_waiter"`
+		GlobalSpuriousPerMsg   float64 `json:"global_pulse_spurious_per_msg"`
+		SelectorSpuriousPerMsg float64 `json:"selector_spurious_per_msg"`
+		WakeupAdvantage        float64 `json:"wakeup_advantage"`
+		SelectorMsgsPerSec     float64 `json:"selector_msgs_per_sec"`
+		GlobalPulseMsgsPerSec  float64 `json:"global_pulse_msgs_per_sec"`
+	} `json:"selector"`
+
+	Copies []CopiesPoint `json:"copies"`
+}
+
+// CopiesPoint is one copies-ablation measurement in BENCH.json.
+type CopiesPoint struct {
+	PayloadBytes     int     `json:"payload_bytes"`
+	FanOut           int     `json:"fan_out"`
+	CopyMsgsPerSec   float64 `json:"copy_msgs_per_sec"`     // paper plane
+	ZeroMsgsPerSec   float64 `json:"zerocopy_msgs_per_sec"` // loan/view plane
+	Advantage        float64 `json:"advantage"`
+	ZeroRecvCopies   uint64  `json:"zerocopy_recv_copies"` // must be 0
+	ZeroViewReceives uint64  `json:"zerocopy_view_receives"`
+}
+
+// Summary measures the trajectory. quick shrinks every run to CI-smoke
+// size (same shapes, ~10x faster).
+func Summary(quick bool) (*JSONSummary, error) {
+	s := &JSONSummary{Schema: 1}
+
+	// Contention: the PR 1 headline configuration.
+	workers := 8
+	rounds := 300
+	if quick {
+		rounds = 60
+	}
+	base, err := NativeContention(1, workers, 1, rounds, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bench: summary contention: %w", err)
+	}
+	sharded, err := NativeContention(16, workers, ContentionBatch, rounds, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bench: summary contention: %w", err)
+	}
+	s.Contention.Workers = workers
+	s.Contention.Batch = ContentionBatch
+	s.Contention.UnshardedMsgsPerSec = base.MsgsPerSec
+	s.Contention.ShardedBatchedMsgsPerSec = sharded.MsgsPerSec
+	if base.MsgsPerSec > 0 {
+		s.Contention.Advantage = sharded.MsgsPerSec / base.MsgsPerSec
+	}
+
+	// Selector: the PR 2 headline configuration.
+	waiters, circuits, msgs := 8, 8, 400
+	if quick {
+		msgs = 150
+	}
+	global, err := NativeSelectorHerd(MuxAnyGlobalPulse, waiters, circuits, msgs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: summary selector: %w", err)
+	}
+	sel, err := NativeSelectorHerd(MuxSelector, waiters, circuits, msgs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: summary selector: %w", err)
+	}
+	s.Selector.Waiters = waiters
+	s.Selector.CircuitsPerWaiter = circuits
+	s.Selector.GlobalSpuriousPerMsg = global.SpuriousPerMsg
+	s.Selector.SelectorSpuriousPerMsg = sel.SpuriousPerMsg
+	if sel.SpuriousPerMsg > 0 {
+		s.Selector.WakeupAdvantage = global.SpuriousPerMsg / sel.SpuriousPerMsg
+	} else {
+		s.Selector.WakeupAdvantage = global.SpuriousPerMsg // zero spurious: report the herd size itself
+	}
+	s.Selector.SelectorMsgsPerSec = sel.MsgsPerSec
+	s.Selector.GlobalPulseMsgsPerSec = global.MsgsPerSec
+
+	// Copies: the PR 3 ablation at the gate sizes plus the fan-out point.
+	copyMsgs := 3000
+	if quick {
+		copyMsgs = 600
+	}
+	points := []struct{ size, fan int }{
+		{4096, 1}, {16384, 1}, {CopiesFanOutPayload, 8},
+	}
+	for _, pt := range points {
+		base, err := NativeCopies(PlaneClassicCopy, pt.size, pt.fan, copyMsgs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: summary copies: %w", err)
+		}
+		zero, err := NativeCopies(PlaneZeroCopy, pt.size, pt.fan, copyMsgs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: summary copies: %w", err)
+		}
+		cp := CopiesPoint{
+			PayloadBytes:     pt.size,
+			FanOut:           pt.fan,
+			CopyMsgsPerSec:   base.MsgsPerSec,
+			ZeroMsgsPerSec:   zero.MsgsPerSec,
+			ZeroRecvCopies:   zero.Stats.PayloadCopiesOut,
+			ZeroViewReceives: zero.Stats.ViewReceives,
+		}
+		if base.MsgsPerSec > 0 {
+			cp.Advantage = zero.MsgsPerSec / base.MsgsPerSec
+		}
+		s.Copies = append(s.Copies, cp)
+	}
+	return s, nil
+}
+
+// Write serialises the summary to path, indented for human diffing.
+func (s *JSONSummary) Write(path string) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

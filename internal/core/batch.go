@@ -101,6 +101,7 @@ func (f *Facility) sendBatch(pid int, id ID, bufs [][]byte, total int) error {
 	f.stats.sends.Add(uint64(len(msgs)))
 	f.stats.batchSends.Add(1)
 	f.stats.bytesSent.Add(uint64(total))
+	f.stats.payloadCopiesIn.Add(uint64(len(msgs)))
 	return nil
 }
 
@@ -190,14 +191,7 @@ func (f *Facility) receiveBatch(pid int, id ID, bufs [][]byte, deadline *time.Ti
 		if m == nil {
 			break
 		}
-		if d.proto == FCFS {
-			m.FCFSNeeded = false
-			l.fcfsHeadSeq = m.Seq + 1
-		} else {
-			d.headSeq = m.Seq + 1
-			m.Pending--
-		}
-		m.Pins++
+		l.claimLocked(d, m)
 		claimed = append(claimed, m)
 	}
 	l.lock.Unlock()
@@ -208,13 +202,9 @@ func (f *Facility) receiveBatch(pid int, id ID, bufs [][]byte, deadline *time.Ti
 		ns[i] = f.pool.Extract(m, bufs[i])
 		total += ns[i]
 	}
+	f.stats.payloadCopiesOut.Add(uint64(len(claimed)))
 
-	l.lock.Lock()
-	for _, m := range claimed {
-		m.Pins--
-	}
-	f.reclaimLocked(l)
-	l.lock.Unlock()
+	f.unpinAll(l, claimed)
 
 	f.stats.receives.Add(uint64(len(claimed)))
 	f.stats.batchReceives.Add(1)

@@ -154,6 +154,15 @@ type Config struct {
 	RegistryShards int
 	// SendPolicy selects Send's behaviour on pool exhaustion.
 	SendPolicy SendPolicy
+	// ClassicChains reverts the shared region to the paper's allocation
+	// layout: every block is its own chain element behind a linked free
+	// list, so multi-block payloads are always fragmented. The default
+	// (false) is the contiguous-span mode, which places each payload in
+	// one run of adjacent blocks whenever fragmentation permits — the
+	// layout that makes single-segment zero-copy views the common case.
+	// ClassicChains is the copy ablation's paper-plane baseline
+	// (mpfbench -copies).
+	ClassicChains bool
 	// GlobalPulseMux reverts ReceiveAny to the pre-selector wakeup
 	// scheme: every Send pulses one facility-wide activity channel and
 	// every parked ReceiveAny waiter wakes to rescan all of its
@@ -212,6 +221,19 @@ type Stats struct {
 	// per-shard breakdown).
 	RegistryAcquisitions uint64
 	RegistryContended    uint64
+	// The zero-copy plane's ledger. PayloadCopiesIn counts send-side
+	// payload copies (user buffer → blocks: Send/SendBatch);
+	// PayloadCopiesOut counts receive-side copies (blocks → user
+	// buffer: Receive, TryReceive, ReceiveBatch, ReceiveAny, and
+	// View.CopyTo). LoanSends counts messages committed through
+	// SendLoan — zero send-side copies — and ViewReceives counts
+	// messages claimed through ReceiveView/TryReceiveView — zero
+	// receive-side copies. The copies ablation (mpfbench -copies)
+	// asserts its zero-copy legs keep the copy counters flat.
+	PayloadCopiesIn  uint64
+	PayloadCopiesOut uint64
+	LoanSends        uint64
+	ViewReceives     uint64
 }
 
 type statsCell struct {
@@ -227,6 +249,10 @@ type statsCell struct {
 	batchReceives         atomic.Uint64
 	muxWakeups            atomic.Uint64
 	muxSpurious           atomic.Uint64
+	payloadCopiesIn       atomic.Uint64
+	payloadCopiesOut      atomic.Uint64
+	loanSends             atomic.Uint64
+	viewReceives          atomic.Uint64
 }
 
 func (s *statsCell) snapshot() Stats {
@@ -236,12 +262,16 @@ func (s *statsCell) snapshot() Stats {
 		BytesSent: s.bytesSent.Load(), BytesRecvd: s.bytesRecvd.Load(),
 		Checks:       s.checks.Load(),
 		LNVCsCreated: s.lnvcsCreated.Load(), LNVCsDeleted: s.lnvcsDeleted.Load(),
-		MessagesDropped: s.messagesDropped.Load(),
-		ReceiveWaits:    s.receiveWaits.Load(),
-		BatchSends:      s.batchSends.Load(),
-		BatchReceives:   s.batchReceives.Load(),
-		MuxWakeups:      s.muxWakeups.Load(),
-		MuxSpurious:     s.muxSpurious.Load(),
+		MessagesDropped:  s.messagesDropped.Load(),
+		ReceiveWaits:     s.receiveWaits.Load(),
+		BatchSends:       s.batchSends.Load(),
+		BatchReceives:    s.batchReceives.Load(),
+		MuxWakeups:       s.muxWakeups.Load(),
+		MuxSpurious:      s.muxSpurious.Load(),
+		PayloadCopiesIn:  s.payloadCopiesIn.Load(),
+		PayloadCopiesOut: s.payloadCopiesOut.Load(),
+		LoanSends:        s.loanSends.Load(),
+		ViewReceives:     s.viewReceives.Load(),
 	}
 }
 
@@ -289,7 +319,9 @@ func Init(cfg Config) (*Facility, error) {
 	if cfg.BlockSize < shm.MinBlockSize {
 		return nil, fmt.Errorf("mpf: block size %d below minimum %d", cfg.BlockSize, shm.MinBlockSize)
 	}
-	arena, err := shm.New(shm.SizeFor(cfg.MaxLNVCs, cfg.MaxProcesses, cfg.BlockSize, cfg.BlocksPerProcess))
+	acfg := shm.SizeFor(cfg.MaxLNVCs, cfg.MaxProcesses, cfg.BlockSize, cfg.BlocksPerProcess)
+	acfg.Spans = !cfg.ClassicChains
+	arena, err := shm.New(acfg)
 	if err != nil {
 		return nil, err
 	}

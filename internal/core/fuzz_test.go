@@ -7,28 +7,44 @@ import (
 )
 
 // FuzzProtocolInvariants drives random interleavings of FCFS and
-// BROADCAST receivers against one circuit and checks the paper's §2
-// delivery contract:
+// BROADCAST receivers — copying receives, zero-copy view receives, and
+// views held across other operations — against one circuit and checks
+// the paper's §2 delivery contract plus the zero-copy plane's pin
+// invariants:
 //
 //   - each message is consumed by exactly one FCFS receiver, in order
 //     (the shared head), however the receives interleave with sends,
 //     consumptions by the sibling, and FCFS close/reopen churn;
 //   - every BROADCAST receiver connected since before the first send
-//     observes the complete message stream in send order;
-//   - once everything is consumed, the queue has been reclaimed.
+//     observes the complete message stream in send order, whether it
+//     reads through copies or through views;
+//   - a held view's payload is never corrupted — the blocks under a
+//     live pin are never recycled, however many sends, receives and
+//     closes happen while it is held;
+//   - once everything is consumed and every view released, the queue
+//     has been reclaimed and no arena block has leaked.
 //
-// The script is one op per input byte: pid 0 sends; pids 1-2 hold FCFS
-// connections (pid 2 churns close/reopen); pids 3-4 hold BROADCAST
-// connections. Sends are seq-stamped so the trackers can identify every
-// delivery. FailFast keeps pool exhaustion from blocking the fuzzer —
-// a refused send is simply not recorded.
+// The script is one op per input byte (low 3 bits select the op, the
+// high bit flips the copy/zero-copy plane): pid 0 sends (Send, or
+// SendLoan+Commit with the high bit); pids 1-2 hold FCFS connections
+// (pid 2 churns close/reopen); pids 3-4 hold BROADCAST connections
+// (TryReceive, or TryReceiveView+Release with the high bit); op 6
+// takes a view on pid 3 and *holds* it across subsequent ops; op 7
+// releases the oldest held view, re-verifying its payload first.
+// FailFast keeps pool exhaustion from blocking the fuzzer — a refused
+// send is simply not recorded.
 func FuzzProtocolInvariants(f *testing.F) {
 	// Seed corpus: a quiet round-trip, a saturating burst then drain,
-	// receiver churn around a burst, and interleaved chatter.
+	// receiver churn around a burst, interleaved chatter, and the
+	// zero-copy plane: loan sends, view receives, held views across
+	// churn and bursts.
 	f.Add([]byte{0, 1, 0, 3, 0, 4, 2, 0})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 3, 3, 3, 3, 4, 4, 4, 4})
 	f.Add([]byte{5, 0, 0, 5, 2, 0, 5, 1, 2, 5, 0, 2})
 	f.Add([]byte{0, 3, 1, 0, 4, 2, 0, 3, 1, 0, 4, 2, 5, 0, 3, 1, 5, 0, 4, 2})
+	f.Add([]byte{0x80, 0x83, 0x81, 0x80, 0x84, 0x82, 0x80, 0x83})
+	f.Add([]byte{0, 6, 0, 6, 5, 0, 1, 7, 2, 7, 0x80, 6, 1, 7})
+	f.Add([]byte{0x80, 6, 0x80, 6, 0x80, 6, 0x80, 6, 7, 7, 7, 7, 1, 1, 1, 1, 4, 4, 4, 4})
 
 	f.Fuzz(func(t *testing.T, script []byte) {
 		if len(script) > 4096 {
@@ -68,15 +84,70 @@ func FuzzProtocolInvariants(f *testing.F) {
 			t.Fatal(err)
 		}
 
+		type heldView struct {
+			v     *View
+			stamp uint64
+		}
 		var (
 			nextSeq   uint64             // payload stamp of the next send
 			sent      uint64             // sends accepted by the facility
 			fcfsSeen  = map[uint64]int{} // stamp → FCFS consumptions
 			fcfsOrder = uint64(0)        // next stamp FCFS may consume
 			bcNext    = map[int]uint64{3: 0, 4: 0}
+			held      []heldView // views pinned across ops (pid 3)
 		)
 		buf := make([]byte, 8)
 
+		stampOf := func(v *View) uint64 {
+			var b [8]byte
+			if n := v.CopyTo(b[:]); n != 8 {
+				t.Fatalf("held view has %d bytes, want 8", n)
+			}
+			return binary.BigEndian.Uint64(b[:])
+		}
+		releaseOldest := func() {
+			if len(held) == 0 {
+				return
+			}
+			h := held[0]
+			held = held[1:]
+			// The pin invariant: a live view's payload must read exactly
+			// as it did at claim time — recycled blocks would have been
+			// overwritten by later sends.
+			if got := stampOf(h.v); got != h.stamp {
+				t.Fatalf("held view corrupted: stamp %d read back as %d", h.stamp, got)
+			}
+			h.v.Release()
+		}
+		doSend := func(viaLoan bool) {
+			payload := make([]byte, 8)
+			binary.BigEndian.PutUint64(payload, nextSeq)
+			if viaLoan {
+				ln, err := fac.SendLoan(0, sid, 8)
+				if errors.Is(err, ErrNoMemory) {
+					return // pool full: drop the stamp, receivers catch up
+				}
+				if err != nil {
+					t.Fatalf("loan %d: %v", nextSeq, err)
+				}
+				if n := ln.View().CopyFrom(payload); n != 8 {
+					t.Fatalf("loan fill wrote %d bytes", n)
+				}
+				if err := ln.Commit(); err != nil {
+					t.Fatalf("commit %d: %v", nextSeq, err)
+				}
+			} else {
+				err := fac.Send(0, sid, payload)
+				if errors.Is(err, ErrNoMemory) {
+					return
+				}
+				if err != nil {
+					t.Fatalf("send %d: %v", nextSeq, err)
+				}
+			}
+			nextSeq++
+			sent++
+		}
 		fcfsRecv := func(pid int, id ID) {
 			n, ok, err := fac.TryReceive(pid, id, buf)
 			if err != nil {
@@ -98,38 +169,64 @@ func FuzzProtocolInvariants(f *testing.F) {
 			}
 			fcfsOrder++
 		}
-		bcastRecv := func(pid int, id ID) {
-			n, ok, err := fac.TryReceive(pid, id, buf)
-			if err != nil {
-				t.Fatalf("BROADCAST TryReceive pid %d: %v", pid, err)
+		bcastRecv := func(pid int, id ID, viaView bool) {
+			var stamp uint64
+			if viaView {
+				v, ok, err := fac.TryReceiveView(pid, id)
+				if err != nil {
+					t.Fatalf("BROADCAST TryReceiveView pid %d: %v", pid, err)
+				}
+				if !ok {
+					return
+				}
+				if v.Len() != 8 {
+					t.Fatalf("BROADCAST pid %d got a %d-byte view", pid, v.Len())
+				}
+				stamp = stampOf(v)
+				v.Release()
+			} else {
+				n, ok, err := fac.TryReceive(pid, id, buf)
+				if err != nil {
+					t.Fatalf("BROADCAST TryReceive pid %d: %v", pid, err)
+				}
+				if !ok {
+					return
+				}
+				if n != 8 {
+					t.Fatalf("BROADCAST pid %d got %d bytes", pid, n)
+				}
+				stamp = binary.BigEndian.Uint64(buf)
 			}
-			if !ok {
-				return
-			}
-			if n != 8 {
-				t.Fatalf("BROADCAST pid %d got %d bytes", pid, n)
-			}
-			stamp := binary.BigEndian.Uint64(buf)
 			if stamp != bcNext[pid] {
 				t.Fatalf("BROADCAST pid %d saw %d, want %d (gap or reorder)", pid, stamp, bcNext[pid])
 			}
 			bcNext[pid]++
 		}
+		holdView := func() {
+			if len(held) >= 8 {
+				// Bound the pinned backlog so FailFast sends keep flowing.
+				releaseOldest()
+			}
+			v, ok, err := fac.TryReceiveView(3, bc3)
+			if err != nil {
+				t.Fatalf("held TryReceiveView: %v", err)
+			}
+			if !ok {
+				return
+			}
+			stamp := stampOf(v)
+			if stamp != bcNext[3] {
+				t.Fatalf("held view saw %d, want %d (gap or reorder)", stamp, bcNext[3])
+			}
+			bcNext[3]++
+			held = append(held, heldView{v: v, stamp: stamp})
+		}
 
 		for _, op := range script {
-			switch op % 6 {
+			viaZC := op&0x80 != 0
+			switch int(op&0x7f) % 8 {
 			case 0:
-				payload := make([]byte, 8)
-				binary.BigEndian.PutUint64(payload, nextSeq)
-				err := fac.Send(0, sid, payload)
-				if errors.Is(err, ErrNoMemory) {
-					continue // pool full: drop the stamp, receivers catch up
-				}
-				if err != nil {
-					t.Fatalf("send %d: %v", nextSeq, err)
-				}
-				nextSeq++
-				sent++
+				doSend(viaZC)
 			case 1:
 				fcfsRecv(1, fcfs1)
 			case 2:
@@ -137,9 +234,9 @@ func FuzzProtocolInvariants(f *testing.F) {
 					fcfsRecv(2, fcfs2)
 				}
 			case 3:
-				bcastRecv(3, bc3)
+				bcastRecv(3, bc3, viaZC)
 			case 4:
-				bcastRecv(4, bc4)
+				bcastRecv(4, bc4, viaZC)
 			case 5:
 				if fcfs2Open {
 					if err := fac.CloseReceive(2, fcfs2); err != nil {
@@ -155,11 +252,16 @@ func FuzzProtocolInvariants(f *testing.F) {
 					}
 					fcfs2Open = true
 				}
+			case 6:
+				holdView()
+			case 7:
+				releaseOldest()
 			}
 		}
 
 		// Drain: every accepted message must reach exactly one FCFS
-		// receiver and both broadcast receivers, in order.
+		// receiver and both broadcast receivers, in order. pid 3
+		// alternates views and copies on the way out.
 		for fcfsOrder < sent {
 			before := fcfsOrder
 			fcfsRecv(1, fcfs1)
@@ -174,7 +276,7 @@ func FuzzProtocolInvariants(f *testing.F) {
 			}
 			for bcNext[pid] < sent {
 				before := bcNext[pid]
-				bcastRecv(pid, id)
+				bcastRecv(pid, id, pid == 3 && bcNext[pid]%2 == 0)
 				if bcNext[pid] == before {
 					t.Fatalf("BROADCAST pid %d drain stalled at %d of %d", pid, bcNext[pid], sent)
 				}
@@ -186,7 +288,14 @@ func FuzzProtocolInvariants(f *testing.F) {
 			}
 		}
 
-		// Everything consumed: reclamation must have emptied the queue.
+		// Views still held must read their original payloads, then let
+		// their blocks go.
+		for len(held) > 0 {
+			releaseOldest()
+		}
+
+		// Everything consumed and every pin dropped: reclamation must
+		// have emptied the queue and returned every block.
 		id, ok := fac.LNVCByName(name)
 		if !ok {
 			t.Fatal("circuit vanished")

@@ -314,11 +314,20 @@ func (f *Facility) close(pid int, id ID, detach func(*lnvc) error) error {
 		l.wakeWaitersLocked()
 	}
 	var drop []*msg.Message
+	dropped := 0
 	dead := err == nil && l.connections() == 0
 	if dead {
 		// Collect unread messages for discarding outside the LNVC lock.
+		// A message some receiver still holds pinned — a copy in flight
+		// or a held View — must survive the circuit: it is orphaned and
+		// the last unpin releases it (§5's revised reclamation rule).
 		l.queue.Walk(func(m, _ *msg.Message) bool {
-			drop = append(drop, m)
+			dropped++
+			if m.Pins > 0 {
+				m.Orphan = true
+			} else {
+				drop = append(drop, m)
+			}
 			return true
 		})
 		l.queue = msg.Queue{}
@@ -335,7 +344,7 @@ func (f *Facility) close(pid int, id ID, detach func(*lnvc) error) error {
 		s.lnvcFree = append(s.lnvcFree, l)
 		f.freeID(id)
 		f.stats.lnvcsDeleted.Add(1)
-		f.stats.messagesDropped.Add(uint64(len(drop)))
+		f.stats.messagesDropped.Add(uint64(dropped))
 	}
 	s.lock.Unlock()
 	if f.cfg.GlobalPulseMux {
@@ -412,6 +421,7 @@ func (f *Facility) send(pid int, id ID, buf []byte) error {
 
 	f.stats.sends.Add(1)
 	f.stats.bytesSent.Add(uint64(len(buf)))
+	f.stats.payloadCopiesIn.Add(1)
 	return nil
 }
 
@@ -440,18 +450,42 @@ func (f *Facility) ReceiveDeadline(pid int, id ID, buf []byte, d time.Duration) 
 }
 
 func (f *Facility) receive(pid int, id ID, buf []byte, deadline *time.Time) (int, error) {
-	if err := f.checkPID(pid); err != nil {
+	l, m, err := f.waitClaim(pid, id, deadline)
+	if err != nil {
 		return 0, err
+	}
+
+	// The second of the paper's two copies — blocks → user buffer —
+	// happens outside the lock, under the pin, so BROADCAST receivers
+	// proceed concurrently.
+	n := f.pool.Extract(m, buf)
+	f.stats.payloadCopiesOut.Add(1)
+
+	f.unpin(l, m)
+
+	f.stats.receives.Add(1)
+	f.stats.bytesRecvd.Add(uint64(n))
+	return n, nil
+}
+
+// waitClaim blocks until a message is deliverable to pid's connection
+// on id, claims it and pins it, and returns it together with the
+// circuit it was claimed from. On success the caller owns one pin and
+// must balance it with unpin once done reading the payload. deadline,
+// when non-nil, bounds the wait (ErrTimeout).
+func (f *Facility) waitClaim(pid int, id ID, deadline *time.Time) (*lnvc, *msg.Message, error) {
+	if err := f.checkPID(pid); err != nil {
+		return nil, nil, err
 	}
 	l, err := f.lookup(id)
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
 	l.lock.Lock()
 	d := l.recvs[pid]
 	if f.slots[id].Load() != l || d == nil {
 		l.lock.Unlock()
-		return 0, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
+		return nil, nil, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
 	}
 	var m *msg.Message
 	waited := false
@@ -472,14 +506,14 @@ func (f *Facility) receive(pid int, id ID, buf []byte, deadline *time.Time) (int
 	for {
 		if f.stopped.Load() {
 			l.lock.Unlock()
-			return 0, ErrShutdown
+			return nil, nil, ErrShutdown
 		}
 		if l.recvs[pid] != d {
 			// The connection was closed (CloseReceive from another
 			// goroutine) while this receive was parked; the close path
 			// broadcast the condition so we see it promptly.
 			l.lock.Unlock()
-			return 0, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
+			return nil, nil, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
 		}
 		m = l.availableLocked(d)
 		if m != nil {
@@ -487,7 +521,7 @@ func (f *Facility) receive(pid int, id ID, buf []byte, deadline *time.Time) (int
 		}
 		if deadline != nil && (timedOut || !time.Now().Before(*deadline)) {
 			l.lock.Unlock()
-			return 0, ErrTimeout
+			return nil, nil, ErrTimeout
 		}
 		waited = true
 		l.cond.Wait()
@@ -495,12 +529,20 @@ func (f *Facility) receive(pid int, id ID, buf []byte, deadline *time.Time) (int
 	if waited {
 		f.stats.receiveWaits.Add(1)
 	}
+	l.claimLocked(d, m)
+	l.lock.Unlock()
+	return l, m, nil
+}
 
-	// Claim the message under the lock, then copy it out. For FCFS the
-	// claim (advancing the shared head) must precede the copy or two
-	// FCFS receivers could extract the same message. The copy itself —
-	// the second of the paper's two copies — happens outside the lock so
-	// BROADCAST receivers proceed concurrently.
+// claimLocked consumes m for receiver d — for FCFS the claim (advancing
+// the shared head) must happen under the lock or two FCFS receivers
+// could take the same message; for BROADCAST it advances the private
+// head and releases the Pending reference — and pins it. The pin is
+// what keeps the blocks alive while the holder reads them outside the
+// lock, whether for the paper's receive copy or for a held View; a
+// pinned message is never recycled (reclaimLocked skips it, the close
+// path orphans it to the pin holders instead of releasing it).
+func (l *lnvc) claimLocked(d *recvDesc, m *msg.Message) {
 	if d.proto == FCFS {
 		m.FCFSNeeded = false
 		l.fcfsHeadSeq = m.Seq + 1
@@ -508,22 +550,54 @@ func (f *Facility) receive(pid int, id ID, buf []byte, deadline *time.Time) (int
 		d.headSeq = m.Seq + 1
 		m.Pending--
 	}
-	// Pin the message while copying outside the lock: the claim above
-	// may have made it reclaimable, and a concurrent receive or close
-	// must not recycle the blocks mid-copy.
 	m.Pins++
-	l.lock.Unlock()
+}
 
-	n := f.pool.Extract(m, buf)
-
+// unpin drops one pin taken by claimLocked. For a message still owned
+// by its circuit this may make it reclaimable, so the reclaim scan
+// runs; for an orphan — dropped from a deleted circuit while pinned —
+// the last pin holder releases the blocks directly (the message is in
+// no queue; l may even have been recycled for another circuit, which
+// is safe because only m's own fields and the pool are touched).
+func (f *Facility) unpin(l *lnvc, m *msg.Message) {
 	l.lock.Lock()
 	m.Pins--
+	if m.Orphan {
+		release := m.Pins == 0
+		l.lock.Unlock()
+		if release {
+			f.pool.Release(m)
+		}
+		return
+	}
 	f.reclaimLocked(l)
 	l.lock.Unlock()
+}
 
-	f.stats.receives.Add(1)
-	f.stats.bytesRecvd.Add(uint64(n))
-	return n, nil
+// unpinAll is unpin for a batch claimed from one circuit: one lock
+// acquisition, one reclaim scan. Orphans are collected and released
+// outside the lock.
+func (f *Facility) unpinAll(l *lnvc, ms []*msg.Message) {
+	var orphans []*msg.Message
+	l.lock.Lock()
+	anyLive := false
+	for _, m := range ms {
+		m.Pins--
+		if m.Orphan {
+			if m.Pins == 0 {
+				orphans = append(orphans, m)
+			}
+		} else {
+			anyLive = true
+		}
+	}
+	if anyLive {
+		f.reclaimLocked(l)
+	}
+	l.lock.Unlock()
+	for _, m := range orphans {
+		f.pool.Release(m)
+	}
 }
 
 // availableLocked returns the next message deliverable to d, or nil.
@@ -564,47 +638,49 @@ func (f *Facility) TryReceive(pid int, id ID, buf []byte) (int, bool, error) {
 }
 
 func (f *Facility) tryReceive(pid int, id ID, buf []byte) (int, bool, error) {
-	if err := f.checkPID(pid); err != nil {
+	l, m, ok, err := f.tryClaim(pid, id)
+	if err != nil || !ok {
 		return 0, false, err
 	}
+
+	n := f.pool.Extract(m, buf)
+	f.stats.payloadCopiesOut.Add(1)
+
+	f.unpin(l, m)
+
+	f.stats.receives.Add(1)
+	f.stats.bytesRecvd.Add(uint64(n))
+	return n, true, nil
+}
+
+// tryClaim is waitClaim's non-blocking form: if a message is deliverable
+// it is claimed and pinned (the caller owes one unpin) and ok is true;
+// otherwise ok is false.
+func (f *Facility) tryClaim(pid int, id ID) (*lnvc, *msg.Message, bool, error) {
+	if err := f.checkPID(pid); err != nil {
+		return nil, nil, false, err
+	}
 	if f.stopped.Load() {
-		return 0, false, ErrShutdown
+		return nil, nil, false, ErrShutdown
 	}
 	l, err := f.lookup(id)
 	if err != nil {
-		return 0, false, err
+		return nil, nil, false, err
 	}
 	l.lock.Lock()
 	d := l.recvs[pid]
 	if f.slots[id].Load() != l || d == nil {
 		l.lock.Unlock()
-		return 0, false, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
+		return nil, nil, false, fmt.Errorf("%w: receive on id %d by process %d", ErrNotConnected, id, pid)
 	}
 	m := l.availableLocked(d)
 	if m == nil {
 		l.lock.Unlock()
-		return 0, false, nil
+		return nil, nil, false, nil
 	}
-	if d.proto == FCFS {
-		m.FCFSNeeded = false
-		l.fcfsHeadSeq = m.Seq + 1
-	} else {
-		d.headSeq = m.Seq + 1
-		m.Pending--
-	}
-	m.Pins++
+	l.claimLocked(d, m)
 	l.lock.Unlock()
-
-	n := f.pool.Extract(m, buf)
-
-	l.lock.Lock()
-	m.Pins--
-	f.reclaimLocked(l)
-	l.lock.Unlock()
-
-	f.stats.receives.Add(1)
-	f.stats.bytesRecvd.Add(uint64(n))
-	return n, true, nil
+	return l, m, true, nil
 }
 
 // CheckReceive reports whether a message is currently available for pid's

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/msg"
+)
+
+// The zero-copy payload plane. The paper's data structure forces two
+// copies per message — message_send copies the user buffer into linked
+// blocks, message_receive copies the blocks into the user buffer — and
+// its conclusion (§5) argues for restricting generality to buy speed.
+// This file makes both copies optional rather than structural:
+//
+//   - SendLoan allocates a message's blocks up front and hands the
+//     caller a writable window (Loan). The caller produces the payload
+//     in place and Commit links the finished message into the FIFO —
+//     zero send-side copies. Abort returns the chain unsent.
+//   - ReceiveView/TryReceiveView claim a message exactly like
+//     Receive/TryReceive but hand back a pinned read window (View)
+//     instead of copying. N BROADCAST receivers read the one shared
+//     payload instance; Release drops the pin.
+//
+// Both lean on the pin lifecycle in lnvc.go: a claimed-and-pinned
+// message is never recycled, and a circuit deleted under a held View
+// orphans the message to its pin holders, so views stay valid across
+// CloseReceive and Shutdown until released.
+
+// ErrLoanDone is returned by Loan.Commit after the loan was already
+// committed or aborted.
+var ErrLoanDone = errors.New("mpf: loan already committed or aborted")
+
+// Loan is an in-flight zero-copy send: a message whose blocks are
+// allocated and owned by the caller, not yet linked into any FIFO.
+// Write the payload through View/Bytes, then Commit (or Abort). A Loan
+// is owned by one process and is not safe for concurrent use, matching
+// the paper's single-thread-of-control process model.
+type Loan struct {
+	f   *Facility
+	l   *lnvc
+	id  ID
+	pid int
+	m   *msg.Message
+	// n is the payload length, copied out of the header at allocation:
+	// after Commit the header belongs to the facility (a receiver may
+	// consume and recycle it concurrently), so the loan must never read
+	// m again once done is set.
+	n    int
+	done bool
+}
+
+// SendLoan allocates blocks for n payload bytes on the LNVC and returns
+// a Loan for the caller to fill in place. Allocation follows the
+// facility's SendPolicy exactly as Send does (BlockUntilFree blocks
+// until the region can serve the demand; FailFast returns ErrNoMemory).
+func (f *Facility) SendLoan(pid int, id ID, n int) (*Loan, error) {
+	ln, err := f.sendLoan(pid, id, n)
+	f.trace(Event{Op: OpSendLoan, PID: pid, LNVC: id, Bytes: n, Err: err})
+	return ln, err
+}
+
+func (f *Facility) sendLoan(pid int, id ID, n int) (*Loan, error) {
+	if err := f.checkPID(pid); err != nil {
+		return nil, err
+	}
+	if f.stopped.Load() {
+		return nil, ErrShutdown
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("mpf: SendLoan of %d bytes", n)
+	}
+	if f.arena.BlocksFor(n) > f.arena.NumBlocks() {
+		return nil, fmt.Errorf("%w: %d bytes, region holds %d", ErrMessageTooBig, n, f.arena.NumBlocks()*f.arena.PayloadSize())
+	}
+	l, err := f.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	// Fail fast before the (possibly blocking) allocation; Commit
+	// re-validates under the lock, exactly as send does around its copy.
+	l.lock.Lock()
+	if f.slots[id].Load() != l || l.sends[pid] == nil {
+		l.lock.Unlock()
+		return nil, fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
+	}
+	l.lock.Unlock()
+
+	m, buildErr := f.pool.BuildLoan(pid, n, f.cfg.SendPolicy == BlockUntilFree, f.stop)
+	if buildErr != nil {
+		if f.stopped.Load() {
+			return nil, ErrShutdown
+		}
+		return nil, fmt.Errorf("%w: %v", ErrNoMemory, buildErr)
+	}
+	return &Loan{f: f, l: l, id: id, pid: pid, m: m, n: n}, nil
+}
+
+// Len returns the loan's payload capacity in bytes.
+func (ln *Loan) Len() int { return ln.n }
+
+// View returns the writable window onto the loaned blocks. Valid until
+// Commit or Abort.
+func (ln *Loan) View() msg.View { return ln.f.pool.View(ln.m) }
+
+// Bytes returns the whole loan as one writable slice when the payload
+// occupies a single segment — the common case under span allocation —
+// and (nil, false) when fragmentation split it (write through
+// Segments or CopyFrom instead).
+func (ln *Loan) Bytes() ([]byte, bool) { return ln.View().Contiguous() }
+
+// Segments calls yield for each writable payload segment in order;
+// returning false stops the walk.
+func (ln *Loan) Segments(yield func(seg []byte) bool) { ln.View().Segments(yield) }
+
+// CopyFrom fills the loan from buf — the escape hatch back to the
+// copying plane for callers that already hold the payload in a private
+// buffer (mpf.Writer and TypedSender do), counted as a send-side copy
+// in Stats. It returns the number of bytes copied.
+func (ln *Loan) CopyFrom(buf []byte) int {
+	n := ln.View().CopyFrom(buf)
+	ln.f.stats.payloadCopiesIn.Add(1)
+	return n
+}
+
+// Commit links the loaned message into the circuit's FIFO — the
+// message_send without its copy. After Commit the loan is spent and the
+// blocks belong to the facility. Committing a loan that was already
+// committed or aborted returns ErrLoanDone; if the circuit died while
+// the loan was out, the blocks are returned and ErrNotConnected comes
+// back.
+func (ln *Loan) Commit() error {
+	err := ln.commit()
+	ln.f.trace(Event{Op: OpLoanCommit, PID: ln.pid, LNVC: ln.id, Bytes: ln.n, Err: err})
+	return err
+}
+
+func (ln *Loan) commit() error {
+	if ln.done {
+		return ErrLoanDone
+	}
+	f, l := ln.f, ln.l
+	if f.stopped.Load() {
+		ln.done = true
+		f.pool.Release(ln.m)
+		return ErrShutdown
+	}
+	l.lock.Lock()
+	// Re-validate both the connection and the ID binding: the circuit
+	// may have been deleted — and its descriptor recycled for another
+	// name — while the caller held the loan.
+	if f.slots[ln.id].Load() != l || l.sends[ln.pid] == nil {
+		l.lock.Unlock()
+		ln.done = true
+		f.pool.Release(ln.m)
+		return fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, ln.id, ln.pid)
+	}
+	ln.m.Pending = l.nBcast
+	ln.m.FCFSNeeded = true
+	l.queue.Enqueue(ln.m)
+	l.cond.Broadcast()
+	l.wakeWaitersLocked()
+	l.lock.Unlock()
+	if f.cfg.GlobalPulseMux {
+		f.pulseActivity()
+	}
+	ln.done = true
+
+	f.stats.sends.Add(1)
+	f.stats.bytesSent.Add(uint64(ln.n))
+	f.stats.loanSends.Add(1)
+	return nil
+}
+
+// Abort returns the loaned blocks to the region unsent. Aborting a loan
+// that was already committed or aborted is a no-op, so Abort can be
+// deferred as cleanup on every error path.
+func (ln *Loan) Abort() {
+	if ln.done {
+		return
+	}
+	ln.done = true
+	ln.f.pool.Release(ln.m)
+}
+
+// View is a pinned zero-copy window onto a received message's payload,
+// the counterpart of Receive's copy. The claim semantics are exactly
+// Receive's — an FCFS claim is exclusive, a BROADCAST claim advances the
+// private head — but the payload stays in the shared region and every
+// BROADCAST receiver's View aliases the same blocks. The pin taken at
+// claim keeps those blocks alive until Release, across any concurrent
+// receive, reclaim, CloseReceive, or Shutdown. A View belongs to one
+// process and is not safe for concurrent use.
+type View struct {
+	f        *Facility
+	l        *lnvc
+	m        *msg.Message
+	released bool
+}
+
+// ReceiveView blocks until a message is available for pid's connection
+// and claims it as a pinned View — message_receive without its copy.
+// The caller must Release the view once done reading.
+func (f *Facility) ReceiveView(pid int, id ID) (*View, error) {
+	v, err := f.receiveView(pid, id, nil)
+	f.trace(Event{Op: OpReceiveView, PID: pid, LNVC: id, Bytes: viewBytes(v), Err: err})
+	return v, err
+}
+
+// ReceiveViewDeadline is ReceiveView with a bound on the wait; if no
+// message becomes available within d it returns ErrTimeout.
+func (f *Facility) ReceiveViewDeadline(pid int, id ID, d time.Duration) (*View, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("%w: non-positive deadline %v", ErrTimeout, d)
+	}
+	deadline := time.Now().Add(d)
+	v, err := f.receiveView(pid, id, &deadline)
+	f.trace(Event{Op: OpReceiveView, PID: pid, LNVC: id, Bytes: viewBytes(v), Err: err})
+	return v, err
+}
+
+func (f *Facility) receiveView(pid int, id ID, deadline *time.Time) (*View, error) {
+	l, m, err := f.waitClaim(pid, id, deadline)
+	if err != nil {
+		return nil, err
+	}
+	f.stats.receives.Add(1)
+	f.stats.bytesRecvd.Add(uint64(m.Length))
+	f.stats.viewReceives.Add(1)
+	return &View{f: f, l: l, m: m}, nil
+}
+
+// TryReceiveView is ReceiveView's non-blocking form: if a message is
+// available it is claimed as a pinned View and (v, true) is returned;
+// otherwise (nil, false).
+func (f *Facility) TryReceiveView(pid int, id ID) (*View, bool, error) {
+	l, m, ok, err := f.tryClaim(pid, id)
+	ev := Event{Op: OpTryReceiveView, PID: pid, LNVC: id, Err: err}
+	if err != nil || !ok {
+		f.trace(ev)
+		return nil, false, err
+	}
+	f.stats.receives.Add(1)
+	f.stats.bytesRecvd.Add(uint64(m.Length))
+	f.stats.viewReceives.Add(1)
+	ev.Bytes = m.Length
+	f.trace(ev)
+	return &View{f: f, l: l, m: m}, true, nil
+}
+
+func viewBytes(v *View) int {
+	if v == nil {
+		return 0
+	}
+	return v.m.Length
+}
+
+// Len returns the payload length in bytes.
+func (v *View) Len() int { return v.m.Length }
+
+// Sender returns the process id that sent the message.
+func (v *View) Sender() int { return v.m.Sender }
+
+// Bytes returns the whole payload as one read-only slice when it
+// occupies a single segment — the common case under span allocation —
+// and (nil, false) when fragmentation split it (walk Segments or
+// CopyTo instead). The slice aliases the shared region and is valid
+// only until Release.
+func (v *View) Bytes() ([]byte, bool) {
+	if v.released {
+		return nil, false
+	}
+	return v.f.pool.View(v.m).Contiguous()
+}
+
+// Segments calls yield for each payload segment in order; returning
+// false stops the walk. Segments alias the shared region and are valid
+// only until Release. A released view yields nothing.
+func (v *View) Segments(yield func(seg []byte) bool) {
+	if v.released {
+		return
+	}
+	v.f.pool.View(v.m).Segments(yield)
+}
+
+// CopyTo copies the payload into buf — the escape hatch back to the
+// copying plane, counted as a receive-side copy in Stats. It returns
+// the number of bytes copied, 0 on a released view.
+func (v *View) CopyTo(buf []byte) int {
+	if v.released {
+		return 0
+	}
+	n := v.f.pool.View(v.m).CopyTo(buf)
+	v.f.stats.payloadCopiesOut.Add(1)
+	return n
+}
+
+// Release drops the view's pin, allowing the message's blocks to be
+// recycled once every other claim on them is gone. Release is
+// idempotent: a second call is a no-op. Holding a View across
+// CloseReceive or Shutdown is safe — the blocks stay alive until this
+// call — but a region running near capacity wants views short-lived,
+// since a pinned message holds its blocks however far the FIFO has
+// moved on.
+func (v *View) Release() {
+	if v.released {
+		return
+	}
+	v.released = true
+	v.f.unpin(v.l, v.m)
+}

@@ -64,6 +64,16 @@ type Ring struct {
 	// notify, when set, runs after every publish that makes new data
 	// visible to the consumer, and on Close. See SetNotify.
 	notify atomic.Pointer[func()]
+
+	// Zero-copy cursor state. resTail/resActive belong to the producer
+	// (Reserve/CommitReserve), peekNext/peekActive to the consumer
+	// (Peek/Consume); neither crosses goroutines, so no atomics — the
+	// padding keeps the producer's fields off the consumer's line.
+	resActive  bool
+	resTail    uint64
+	_          [48]byte
+	peekActive bool
+	peekNext   uint64
 }
 
 // NewRing creates a ring with at least capacity bytes of buffer
@@ -121,21 +131,23 @@ func putLE32(b []byte, v uint32) {
 	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 }
 
-// push writes msg's record into the buffer at the unpublished cursor
-// tail, returning the advanced cursor and whether the record fit. It
-// does NOT publish: the caller stores r.tail, which is what lets a
-// batch of records go out under one cursor publish.
-func (r *Ring) push(tail, head uint64, msg []byte) (uint64, bool) {
-	need := uint64(recHeader + len(msg))
+// place carves an n-byte record out of the buffer at the unpublished
+// cursor tail, writing the length header (and a skip marker when the
+// record must wrap) and returning the record's buffer offset and the
+// advanced cursor. It does NOT publish: the caller stores r.tail, which
+// is what lets a batch of records — or an in-place reservation — go out
+// under one cursor publish.
+func (r *Ring) place(tail, head uint64, n int) (off, newTail uint64, ok bool) {
+	need := uint64(recHeader + n)
 	capacity := uint64(len(r.buf))
-	off := tail & r.mask
+	off = tail & r.mask
 	roomToEnd := capacity - off
 
 	if roomToEnd < need {
 		// Must wrap: burn roomToEnd bytes with a skip marker, then the
 		// record starts at offset 0. The skip itself needs header room.
 		if capacity-(tail-head) < roomToEnd+need {
-			return tail, false
+			return 0, tail, false
 		}
 		if roomToEnd >= recHeader {
 			putLE32(r.buf[off:], skipMarker)
@@ -145,18 +157,34 @@ func (r *Ring) push(tail, head uint64, msg []byte) (uint64, bool) {
 		tail += roomToEnd
 		off = 0
 	} else if capacity-(tail-head) < need {
-		return tail, false
+		return 0, tail, false
 	}
-	putLE32(r.buf[off:], uint32(len(msg)))
-	copy(r.buf[off+recHeader:], msg)
+	putLE32(r.buf[off:], uint32(n))
 	// Pad the record to 4-byte alignment so headers stay aligned and
 	// the skip-marker invariant above holds.
-	return tail + pad4(need), true
+	return off, tail + pad4(need), true
+}
+
+// push writes msg's record into the buffer at the unpublished cursor
+// tail, returning the advanced cursor and whether the record fit.
+func (r *Ring) push(tail, head uint64, msg []byte) (uint64, bool) {
+	off, newTail, ok := r.place(tail, head, len(msg))
+	if !ok {
+		return tail, false
+	}
+	copy(r.buf[off+recHeader:], msg)
+	return newTail, true
 }
 
 // TrySend attempts to enqueue msg without blocking. It reports false if
 // the ring lacks space. Messages larger than Cap()-8 return ErrTooBig.
 func (r *Ring) TrySend(msg []byte) (bool, error) {
+	if r.resActive {
+		// A send would write at the same unpublished cursor as the
+		// reservation and corrupt the record headers; fail loudly like
+		// every other zero-copy misuse path.
+		panic("fastpath: TrySend with a reservation outstanding")
+	}
 	if r.closed.Load() {
 		return false, ErrClosed
 	}
@@ -180,6 +208,9 @@ func (r *Ring) TrySend(msg []byte) (bool, error) {
 // the batch: the prefix before it is still published and ErrTooBig is
 // returned with the count.
 func (r *Ring) TrySendBatch(msgs [][]byte) (int, error) {
+	if r.resActive {
+		panic("fastpath: TrySendBatch with a reservation outstanding")
+	}
 	if r.closed.Load() {
 		return 0, ErrClosed
 	}
@@ -232,6 +263,12 @@ func (r *Ring) SendBatch(msgs [][]byte) error {
 // returning the byte count (truncated to len(buf)) and whether a message
 // was consumed.
 func (r *Ring) TryRecv(buf []byte) (int, bool, error) {
+	if r.peekActive {
+		// Consuming here would strand the peek's saved cursor behind the
+		// ring's, and the later Consume would rewind head over records
+		// already taken.
+		panic("fastpath: TryRecv with a peek outstanding")
+	}
 	head := r.head.Load()
 	tail := r.tail.Load()
 	capacity := uint64(len(r.buf))
@@ -267,6 +304,9 @@ func (r *Ring) TryRecv(buf []byte) (int, bool, error) {
 // with a nil error means the ring was empty. Like TryRecv it drains
 // remaining messages after Close and only then returns ErrClosed.
 func (r *Ring) TryRecvBatch(bufs [][]byte) ([]int, error) {
+	if r.peekActive {
+		panic("fastpath: TryRecvBatch with a peek outstanding")
+	}
 	if len(bufs) == 0 {
 		return nil, nil
 	}
@@ -306,6 +346,104 @@ func (r *Ring) TryRecvBatch(bufs [][]byte) ([]int, error) {
 		}
 		return ns, nil
 	}
+}
+
+// Reserve carves an n-byte record out of the ring and returns it as a
+// writable slice — the zero-copy counterpart of TrySend: the producer
+// writes the payload in place and the structural copy never happens.
+// It reports false when the ring currently lacks space, ErrTooBig when
+// n can never fit, ErrClosed after Close. Nothing is visible to the
+// consumer until CommitReserve publishes the cursor; AbortReserve
+// discards the record instead. At most one reservation may be
+// outstanding, and the producer must not interleave TrySend/SendBatch
+// with an outstanding reservation (both write at the same unpublished
+// cursor). Producer-side only, like all sends.
+func (r *Ring) Reserve(n int) ([]byte, bool, error) {
+	if r.resActive {
+		panic("fastpath: Reserve with a reservation outstanding")
+	}
+	if r.closed.Load() {
+		return nil, false, ErrClosed
+	}
+	if n < 0 || uint64(recHeader+n) > uint64(len(r.buf))-recHeader {
+		return nil, false, ErrTooBig
+	}
+	off, newTail, ok := r.place(r.tail.Load(), r.head.Load(), n)
+	if !ok {
+		return nil, false, nil
+	}
+	r.resActive = true
+	r.resTail = newTail
+	return r.buf[off+recHeader : off+recHeader+uint64(n)], true, nil
+}
+
+// CommitReserve publishes the record returned by the last Reserve,
+// making it visible to the consumer with a single cursor store.
+func (r *Ring) CommitReserve() {
+	if !r.resActive {
+		panic("fastpath: CommitReserve without a reservation")
+	}
+	r.resActive = false
+	r.tail.Store(r.resTail) // publish
+	r.notifyPublish()
+}
+
+// AbortReserve discards the outstanding reservation. The cursor never
+// moved, so the record (and any skip marker written for it) is simply
+// overwritten by the next send.
+func (r *Ring) AbortReserve() {
+	if !r.resActive {
+		panic("fastpath: AbortReserve without a reservation")
+	}
+	r.resActive = false
+}
+
+// Peek returns the next record's payload in place, without consuming
+// it — the zero-copy counterpart of TryRecv: the consumer reads the
+// ring's memory directly and Consume retires the record afterwards.
+// It reports false when the ring is empty; after Close it drains
+// remaining records and then returns ErrClosed. The slice is valid
+// until Consume; a second Peek before Consume returns the same record.
+// Consumer-side only, like all receives.
+func (r *Ring) Peek() ([]byte, bool, error) {
+	head := r.head.Load()
+	tail := r.tail.Load()
+	capacity := uint64(len(r.buf))
+	for {
+		if head == tail {
+			if r.closed.Load() {
+				// Re-check emptiness after observing closed, so a send
+				// that completed before Close is not lost.
+				if r.head.Load() == r.tail.Load() {
+					return nil, false, ErrClosed
+				}
+				tail = r.tail.Load()
+				continue
+			}
+			return nil, false, nil
+		}
+		off := head & r.mask
+		hdr := le32(r.buf[off:])
+		if hdr == skipMarker || capacity-off < recHeader {
+			head += capacity - off
+			r.head.Store(head)
+			continue
+		}
+		r.peekActive = true
+		r.peekNext = head + pad4(uint64(recHeader)+uint64(hdr))
+		return r.buf[off+recHeader : off+recHeader+uint64(hdr)], true, nil
+	}
+}
+
+// Consume retires the record returned by the last Peek, publishing the
+// consumer cursor past it. The peeked slice is invalid afterwards (the
+// producer may overwrite it).
+func (r *Ring) Consume() {
+	if !r.peekActive {
+		panic("fastpath: Consume without a Peek")
+	}
+	r.peekActive = false
+	r.head.Store(r.peekNext)
 }
 
 // Send blocks (spinning with backoff) until msg is enqueued.

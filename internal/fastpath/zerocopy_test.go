@@ -1,0 +1,218 @@
+package fastpath
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestReserveCommitRoundtrip(t *testing.T) {
+	r, err := NewRing(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("written in place, never copied")
+	seg, ok, err := r.Reserve(len(want))
+	if err != nil || !ok {
+		t.Fatalf("Reserve: ok=%v err=%v", ok, err)
+	}
+	if len(seg) != len(want) {
+		t.Fatalf("reserved %d bytes, want %d", len(seg), len(want))
+	}
+	// Nothing visible before the commit.
+	if n, ok, _ := r.TryRecv(make([]byte, 64)); ok {
+		t.Fatalf("uncommitted reservation visible: %d bytes", n)
+	}
+	copy(seg, want)
+	r.CommitReserve()
+	buf := make([]byte, 64)
+	n, ok, err := r.TryRecv(buf)
+	if err != nil || !ok || !bytes.Equal(buf[:n], want) {
+		t.Fatalf("TryRecv after commit: n=%d ok=%v err=%v", n, ok, err)
+	}
+}
+
+func TestAbortReserveLeavesNothing(t *testing.T) {
+	r, _ := NewRing(256)
+	seg, ok, err := r.Reserve(10)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	copy(seg, "discarded!")
+	r.AbortReserve()
+	if _, ok, _ := r.TryRecv(make([]byte, 64)); ok {
+		t.Fatal("aborted reservation became visible")
+	}
+	// The slot is reusable immediately.
+	if ok, err := r.TrySend([]byte("next")); err != nil || !ok {
+		t.Fatalf("TrySend after abort: ok=%v err=%v", ok, err)
+	}
+	buf := make([]byte, 64)
+	n, ok, _ := r.TryRecv(buf)
+	if !ok || string(buf[:n]) != "next" {
+		t.Fatalf("got %q after abort", buf[:n])
+	}
+}
+
+func TestReserveLimits(t *testing.T) {
+	r, _ := NewRing(64)
+	if _, _, err := r.Reserve(len(r.buf)); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("oversize Reserve err = %v, want ErrTooBig", err)
+	}
+	if _, _, err := r.Reserve(-1); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("negative Reserve err = %v, want ErrTooBig", err)
+	}
+	// Fill the ring; Reserve must report no-room, not error.
+	for {
+		ok, err := r.TrySend(make([]byte, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if _, ok, err := r.Reserve(16); ok || err != nil {
+		t.Fatalf("full ring Reserve: ok=%v err=%v", ok, err)
+	}
+	r.Close()
+	if _, _, err := r.Reserve(8); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed Reserve err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPeekConsume(t *testing.T) {
+	r, _ := NewRing(256)
+	if _, ok, err := r.Peek(); ok || err != nil {
+		t.Fatalf("empty Peek: ok=%v err=%v", ok, err)
+	}
+	r.TrySend([]byte("first"))
+	r.TrySend([]byte("second"))
+	seg, ok, err := r.Peek()
+	if err != nil || !ok || string(seg) != "first" {
+		t.Fatalf("Peek = %q, ok=%v, err=%v", seg, ok, err)
+	}
+	// Peek again before Consume: same record.
+	seg2, ok, _ := r.Peek()
+	if !ok || string(seg2) != "first" {
+		t.Fatalf("second Peek = %q", seg2)
+	}
+	r.Consume()
+	seg, ok, _ = r.Peek()
+	if !ok || string(seg) != "second" {
+		t.Fatalf("Peek after Consume = %q", seg)
+	}
+	r.Consume()
+	if _, ok, _ := r.Peek(); ok {
+		t.Fatal("drained ring still peeks a record")
+	}
+	r.Close()
+	if _, _, err := r.Peek(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed Peek err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPeekDrainsAfterClose(t *testing.T) {
+	r, _ := NewRing(256)
+	r.TrySend([]byte("late"))
+	r.Close()
+	seg, ok, err := r.Peek()
+	if err != nil || !ok || string(seg) != "late" {
+		t.Fatalf("Peek after close = %q, ok=%v, err=%v", seg, ok, err)
+	}
+	r.Consume()
+	if _, _, err := r.Peek(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestReservePeekWrapAround(t *testing.T) {
+	r, _ := NewRing(128)
+	// Drive the cursors around the ring so reservations and peeks cross
+	// the wrap point (skip markers) repeatedly.
+	for i := 0; i < 200; i++ {
+		n := 1 + i%40
+		seg, ok, err := r.Reserve(n)
+		if err != nil || !ok {
+			t.Fatalf("iter %d: Reserve(%d) ok=%v err=%v", i, n, ok, err)
+		}
+		for j := range seg {
+			seg[j] = byte(i)
+		}
+		r.CommitReserve()
+		got, ok, err := r.Peek()
+		if err != nil || !ok {
+			t.Fatalf("iter %d: Peek ok=%v err=%v", i, ok, err)
+		}
+		if len(got) != n {
+			t.Fatalf("iter %d: peeked %d bytes, want %d", i, len(got), n)
+		}
+		for j := range got {
+			if got[j] != byte(i) {
+				t.Fatalf("iter %d: byte %d = %d", i, j, got[j])
+			}
+		}
+		r.Consume()
+	}
+}
+
+// TestReservePeekSPSCRace streams records through the zero-copy ends
+// from two goroutines for the race detector: the producer writes each
+// record in place and the consumer validates it in place.
+func TestReservePeekSPSCRace(t *testing.T) {
+	r, _ := NewRing(1024)
+	const n = 5000
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			size := 8 + (i % 32 * 4)
+			for {
+				seg, ok, err := r.Reserve(size)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !ok {
+					continue
+				}
+				binary.LittleEndian.PutUint64(seg, uint64(i))
+				for j := 8; j < len(seg); j++ {
+					seg[j] = byte(i)
+				}
+				r.CommitReserve()
+				break
+			}
+		}
+		r.Close()
+		errc <- nil
+	}()
+	for i := 0; ; i++ {
+		seg, ok, err := r.Peek()
+		if errors.Is(err, ErrClosed) {
+			if i != n {
+				t.Fatalf("consumed %d records, want %d", i, n)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			i--
+			continue
+		}
+		if got := binary.LittleEndian.Uint64(seg); got != uint64(i) {
+			t.Fatalf("record %d carries stamp %d", i, got)
+		}
+		for j := 8; j < len(seg); j++ {
+			if seg[j] != byte(i) {
+				t.Fatalf("record %d corrupt at byte %d", i, j)
+			}
+		}
+		r.Consume()
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -45,12 +45,18 @@ type Message struct {
 	// outstanding. Both are manipulated under the LNVC lock.
 	Pending    int
 	FCFSNeeded bool
-	// Pins counts receivers currently copying the payload outside the
-	// LNVC lock. A pinned message must not be reclaimed: broadcast
-	// receivers release their Pending claim before the copy (so other
-	// receivers can proceed) but the blocks must survive until the copy
-	// finishes. Manipulated under the LNVC lock.
+	// Pins counts receivers currently reading the payload outside the
+	// LNVC lock — a transient copy (Extract) or a held zero-copy View.
+	// A pinned message must not be reclaimed: broadcast receivers
+	// release their Pending claim before reading (so other receivers
+	// can proceed) but the blocks must survive until the last pin
+	// drops. Manipulated under the LNVC lock.
 	Pins int
+	// Orphan marks a pinned message whose circuit was deleted before
+	// the pins drained: the close path cannot release it, so ownership
+	// passes to the pin holders and the last unpin releases it (see
+	// core's unpin). Set under the LNVC lock.
+	Orphan bool
 }
 
 // Pool allocates and recycles message headers and their payload chains.
@@ -79,32 +85,48 @@ func NewPool(arena *shm.Arena, maxFree int) *Pool {
 func (p *Pool) Arena() *shm.Arena { return p.arena }
 
 // Build allocates blocks for buf, copies buf in, and returns a message
-// header describing it. If wait is true the allocation blocks until
-// enough blocks are free (stop aborts); otherwise exhaustion returns
-// shm.ErrOutOfBlocks.
+// header describing it. The allocation is payload-shaped
+// (shm.Arena.AllocPayload): under span allocation the chain is one
+// contiguous run of blocks whenever fragmentation permits. If wait is
+// true the allocation blocks until enough blocks are free (stop
+// aborts); otherwise exhaustion returns shm.ErrOutOfBlocks.
 func (p *Pool) Build(sender int, buf []byte, wait bool, stop <-chan struct{}) (*Message, error) {
-	n := p.arena.BlocksFor(len(buf))
-	head, err := p.arena.AllocChain(n, wait, stop)
+	m, err := p.BuildLoan(sender, len(buf), wait, stop)
 	if err != nil {
 		return nil, err
 	}
-	p.arena.WriteChain(head, buf)
-	tail := head
-	for next := p.arena.Next(tail); next != shm.NilOffset; next = p.arena.Next(tail) {
-		tail = next
+	p.arena.WriteChain(m.Head, buf)
+	return m, nil
+}
+
+// BuildLoan allocates a chain able to hold n payload bytes and returns
+// its header with the payload *uninitialised* — the send-side zero-copy
+// primitive. The caller writes the payload in place through View(m)
+// (core.Loan does) and the structural send copy never happens.
+func (p *Pool) BuildLoan(sender, n int, wait bool, stop <-chan struct{}) (*Message, error) {
+	head, tail, err := p.arena.AllocPayload(n, wait, stop)
+	if err != nil {
+		return nil, err
 	}
 	m := p.get()
-	m.Length = len(buf)
+	m.Length = n
 	m.Head = head
 	m.Tail = tail
 	m.Sender = sender
 	return m, nil
 }
 
+// View returns a zero-copy window onto m's payload. Validity follows
+// block ownership: the caller must hold the message pinned (receive
+// views) or own its unsent chain (loans).
+func (p *Pool) View(m *Message) View {
+	return NewView(p.arena, m.Head, m.Length)
+}
+
 // BuildBatch builds one message per buffer in bufs, allocating every
-// payload block in a single arena transaction (Arena.AllocChains): the
-// batch costs one free-list lock acquisition however many messages and
-// blocks it spans. Either every message is built or none is; wait and
+// payload block in a single arena transaction (Arena.AllocPayloads):
+// the batch costs one free-list lock acquisition however many messages
+// and blocks it spans. Either every message is built or none is; wait and
 // stop have Build's semantics, applied to the batch's total block
 // demand.
 func (p *Pool) BuildBatch(sender int, bufs [][]byte, wait bool, stop <-chan struct{}) ([]*Message, error) {
@@ -113,9 +135,9 @@ func (p *Pool) BuildBatch(sender int, bufs [][]byte, wait bool, stop <-chan stru
 	}
 	ns := make([]int, len(bufs))
 	for i, buf := range bufs {
-		ns[i] = p.arena.BlocksFor(len(buf))
+		ns[i] = len(buf)
 	}
-	heads, tails, err := p.arena.AllocChains(ns, wait, stop)
+	heads, tails, err := p.arena.AllocPayloads(ns, wait, stop)
 	if err != nil {
 		return nil, err
 	}
@@ -171,17 +193,32 @@ func (p *Pool) put(m *Message) {
 	}
 }
 
-// Check verifies header/chain consistency: the chain has exactly
-// BlocksFor(Length) blocks and Tail is its last block. For tests.
+// Check verifies header/chain consistency in either allocation mode:
+// the chain's segments cover exactly Length payload bytes (the last
+// segment is load-bearing — no over-allocation), a zero-length message
+// still occupies one segment, and Tail is the chain's last segment. For
+// tests.
 func (p *Pool) Check(m *Message) error {
-	want := p.arena.BlocksFor(m.Length)
-	got := p.arena.ChainLen(m.Head)
-	if got != want {
-		return fmt.Errorf("msg: %d-byte message has %d blocks, want %d", m.Length, got, want)
+	if m.Head == shm.NilOffset {
+		return fmt.Errorf("msg: %d-byte message has no chain", m.Length)
 	}
+	capacity, lastCap, segs := 0, 0, 0
 	tail := m.Head
-	for next := p.arena.Next(tail); next != shm.NilOffset; next = p.arena.Next(tail) {
-		tail = next
+	for off := m.Head; off != shm.NilOffset; off = p.arena.Next(off) {
+		lastCap = len(p.arena.SegPayload(off))
+		capacity += lastCap
+		segs++
+		tail = off
+	}
+	if capacity < m.Length {
+		return fmt.Errorf("msg: %d-byte message has chain capacity %d", m.Length, capacity)
+	}
+	if segs > 1 && capacity-lastCap >= m.Length {
+		return fmt.Errorf("msg: %d-byte message over-allocated: %d segments, capacity %d without the last",
+			m.Length, segs, capacity-lastCap)
+	}
+	if m.Length == 0 && segs != 1 {
+		return fmt.Errorf("msg: zero-length message has %d segments, want 1", segs)
 	}
 	if tail != m.Tail {
 		return fmt.Errorf("msg: tail pointer %d does not match chain end %d", m.Tail, tail)

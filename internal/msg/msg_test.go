@@ -2,6 +2,7 @@ package msg
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -84,7 +85,7 @@ func TestExtractTruncates(t *testing.T) {
 
 func TestBuildExhaustion(t *testing.T) {
 	p := newPool(t, 16, 2) // 24 bytes of payload capacity
-	if _, err := p.Build(0, make([]byte, 100), false, nil); err != shm.ErrOutOfBlocks {
+	if _, err := p.Build(0, make([]byte, 100), false, nil); !errors.Is(err, shm.ErrOutOfBlocks) {
 		t.Fatalf("err = %v, want ErrOutOfBlocks", err)
 	}
 	if got := p.Arena().FreeBlocks(); got != 2 {

@@ -18,6 +18,20 @@
 //     themselves, with the link word stored in the block's first 4 bytes
 //     when free.
 //
+// Beyond the paper, the arena offers a contiguous-span allocation mode
+// (Config.Spans): a free *bitmap* replaces the linked list and a payload
+// is placed, whenever fragmentation permits, in one run of physically
+// adjacent blocks carrying a single link word. A multi-kilobyte message
+// then occupies one contiguous byte range instead of a chain of 60-byte
+// fragments — which is what lets the zero-copy plane (msg.View,
+// core.SendLoan/ReceiveView) hand callers a single writable or readable
+// slice instead of walking a chain. Chains still exist in span mode —
+// a chain element is simply a span of one or more blocks, described by
+// SegPayload — and every chain API (WriteChain, ReadChain, FreeChain)
+// is span-aware. The classic linked-list layout remains the fidelity
+// baseline (core's ClassicChains / mpf.WithClassicChains) and the copy
+// ablation's paper-plane configuration.
+//
 // The arena is safe for concurrent use.
 package shm
 
@@ -25,6 +39,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/spinlock"
 )
@@ -49,10 +64,25 @@ type Arena struct {
 	mem       []byte
 	blockSize int32
 	nBlocks   int32
+	spans     bool
 
 	mu       spinlock.TAS
-	freeHead int32 // offset of first free block, NilOffset if none
+	freeHead int32 // classic mode: offset of first free block, NilOffset if none
 	nFree    int32
+
+	// Span mode replaces the linked free list with a bitmap so runs of
+	// physically adjacent free blocks can be found: bit i set means
+	// block i (at offset (i+1)*blockSize) is free. spanLen[i] records,
+	// for an allocated span starting at block i, how many blocks it
+	// covers — the metadata FreeChain and SegPayload need, kept at the
+	// side because the span's interior has no per-block link words.
+	// lowFree is a lower bound on the lowest free block index (no free
+	// bit exists below it); every scan starts there and tightens it, so
+	// allocations do not re-walk a long-lived allocated prefix while
+	// holding the lock. Frees lower it again.
+	freeBits []uint64
+	spanLen  []int32
+	lowFree  int32
 
 	// waiters is the number of goroutines blocked in AllocWait; guarded
 	// by mu, signalled via cond.
@@ -87,6 +117,11 @@ type Config struct {
 	BlockSize int
 	// NumBlocks is the number of blocks in the region.
 	NumBlocks int
+	// Spans selects the contiguous-span allocation mode: payloads are
+	// placed in runs of adjacent blocks (single-segment views) found
+	// via a free bitmap instead of the paper's linked free list. All
+	// chain APIs work identically in both modes.
+	Spans bool
 }
 
 // SizeFor estimates the arena configuration for a facility with the given
@@ -126,22 +161,35 @@ func New(cfg Config) (*Arena, error) {
 		mem:       make([]byte, total),
 		blockSize: int32(cfg.BlockSize),
 		nBlocks:   int32(cfg.NumBlocks),
+		spans:     cfg.Spans,
 	}
 	a.cond.init()
-	// Thread the free list through the blocks, first block at offset
-	// blockSize (offset 0 is reserved as NilOffset).
-	a.freeHead = a.blockSize
-	for i := int32(0); i < a.nBlocks; i++ {
-		off := (i + 1) * a.blockSize
-		next := off + a.blockSize
-		if i == a.nBlocks-1 {
-			next = NilOffset
+	if a.spans {
+		a.freeBits = make([]uint64, (cfg.NumBlocks+63)/64)
+		for i := 0; i < cfg.NumBlocks; i++ {
+			a.freeBits[i/64] |= 1 << (i % 64)
 		}
-		a.setLink(off, next)
+		a.spanLen = make([]int32, cfg.NumBlocks)
+		a.freeHead = NilOffset
+	} else {
+		// Thread the free list through the blocks, first block at offset
+		// blockSize (offset 0 is reserved as NilOffset).
+		a.freeHead = a.blockSize
+		for i := int32(0); i < a.nBlocks; i++ {
+			off := (i + 1) * a.blockSize
+			next := off + a.blockSize
+			if i == a.nBlocks-1 {
+				next = NilOffset
+			}
+			a.setLink(off, next)
+		}
 	}
 	a.nFree = a.nBlocks
 	return a, nil
 }
+
+// Spans reports whether the arena runs in contiguous-span mode.
+func (a *Arena) Spans() bool { return a.spans }
 
 // BlockSize returns the configured block size including the link word.
 func (a *Arena) BlockSize() int { return int(a.blockSize) }
@@ -184,6 +232,15 @@ func (a *Arena) Alloc() (int32, error) {
 }
 
 func (a *Arena) allocLocked() (int32, error) {
+	if a.spans {
+		if a.nFree == 0 {
+			a.stats.AllocFails++
+			return NilOffset, ErrOutOfBlocks
+		}
+		idx := a.findFreeLocked()
+		a.takeRunLocked(idx, 1)
+		return a.offsetOf(idx), nil
+	}
 	if a.freeHead == NilOffset {
 		a.stats.AllocFails++
 		return NilOffset, ErrOutOfBlocks
@@ -196,6 +253,151 @@ func (a *Arena) allocLocked() (int32, error) {
 		a.stats.HighWater = used
 	}
 	return off, nil
+}
+
+// offsetOf converts a block index to its arena offset; blockIndex is the
+// inverse. Block 0 lives at offset blockSize (offset 0 is NilOffset).
+func (a *Arena) offsetOf(idx int32) int32   { return (idx + 1) * a.blockSize }
+func (a *Arena) blockIndex(off int32) int32 { return off/a.blockSize - 1 }
+
+// findFreeLocked returns the index of the lowest free block, scanning
+// words from the lowFree bound and tightening it. The caller must have
+// checked nFree > 0.
+func (a *Arena) findFreeLocked() int32 {
+	for w := int(a.lowFree / 64); w < len(a.freeBits); w++ {
+		if a.freeBits[w] != 0 {
+			idx := int32(w*64 + bits.TrailingZeros64(a.freeBits[w]))
+			a.lowFree = idx
+			return idx
+		}
+	}
+	panic("shm: findFreeLocked with no free blocks")
+}
+
+// bestRunLocked scans for a run of want consecutive free blocks,
+// starting at the lowFree bound (no free block exists below it). It
+// returns the first such run immediately; failing that, the longest run
+// found (length 0 when the region is exhausted).
+func (a *Arena) bestRunLocked(want int32) (start, length int32) {
+	var bestStart, bestLen, runStart, runLen int32
+	first := true
+	for i := a.lowFree &^ 63; i < a.nBlocks; {
+		w := a.freeBits[i/64]
+		if w == 0 && i%64 == 0 {
+			// A whole empty word: the current run is over.
+			if runLen > bestLen {
+				bestStart, bestLen = runStart, runLen
+			}
+			runLen = 0
+			i += 64
+			continue
+		}
+		if w&(1<<(i%64)) != 0 {
+			if first {
+				// Lowest free block seen this scan: tighten the bound.
+				a.lowFree = i
+				first = false
+			}
+			if runLen == 0 {
+				runStart = i
+			}
+			runLen++
+			if runLen >= want {
+				return runStart, runLen
+			}
+		} else {
+			if runLen > bestLen {
+				bestStart, bestLen = runStart, runLen
+			}
+			runLen = 0
+		}
+		i++
+	}
+	if runLen > bestLen {
+		bestStart, bestLen = runStart, runLen
+	}
+	return bestStart, bestLen
+}
+
+// takeRunLocked marks blocks [start, start+k) allocated as one span.
+func (a *Arena) takeRunLocked(start, k int32) {
+	for i := start; i < start+k; i++ {
+		if a.freeBits[i/64]&(1<<(i%64)) == 0 {
+			panic(fmt.Sprintf("shm: takeRun of allocated block %d", i))
+		}
+		a.freeBits[i/64] &^= 1 << (i % 64)
+	}
+	a.spanLen[start] = k
+	a.nFree -= k
+	a.stats.Allocs += uint64(k)
+	if used := a.nBlocks - a.nFree; used > a.stats.HighWater {
+		a.stats.HighWater = used
+	}
+}
+
+// freeSpanLocked returns the span starting at off to the bitmap.
+func (a *Arena) freeSpanLocked(off int32) {
+	idx := a.blockIndex(off)
+	if idx < a.lowFree {
+		a.lowFree = idx
+	}
+	k := a.spanLen[idx]
+	if k < 1 {
+		panic(fmt.Sprintf("shm: free of unallocated span at offset %d", off))
+	}
+	for i := idx; i < idx+k; i++ {
+		if a.freeBits[i/64]&(1<<(i%64)) != 0 {
+			panic(fmt.Sprintf("shm: double free of block %d", i))
+		}
+		a.freeBits[i/64] |= 1 << (i % 64)
+	}
+	a.spanLen[idx] = 0
+	a.nFree += k
+	a.stats.Frees += uint64(k)
+}
+
+// spanBlocksFor returns the blocks one contiguous span needs for n
+// payload bytes: the span carries a single 4-byte link word however
+// many blocks it covers.
+func (a *Arena) spanBlocksFor(n int) int32 {
+	if n <= 0 {
+		return 1
+	}
+	return int32((n + 4 + int(a.blockSize) - 1) / int(a.blockSize))
+}
+
+// spanChainLocked builds a chain holding payload bytes from free runs:
+// one contiguous span in the common case, several spans under
+// fragmentation (greedy longest-run). The caller must hold the lock and
+// have verified nFree >= BlocksFor(payload) — the fully-fragmented
+// worst case — which guarantees success (see the demand invariant in
+// AllocPayload).
+func (a *Arena) spanChainLocked(payload int) (head, tail int32) {
+	rem := payload
+	head, tail = NilOffset, NilOffset
+	for {
+		want := a.spanBlocksFor(rem)
+		start, length := a.bestRunLocked(want)
+		if length == 0 {
+			panic("shm: spanChainLocked underflow")
+		}
+		if length > want {
+			length = want
+		}
+		a.takeRunLocked(start, length)
+		off := a.offsetOf(start)
+		a.setLink(off, NilOffset)
+		if head == NilOffset {
+			head = off
+		} else {
+			a.setLink(tail, off)
+		}
+		tail = off
+		rem -= int(length)*int(a.blockSize) - 4
+		if rem <= 0 {
+			return head, tail
+		}
+	}
 }
 
 // AllocWait pops one block, blocking until one is available. It is the
@@ -350,17 +552,109 @@ func (a *Arena) AllocChains(ns []int, wait bool, stop <-chan struct{}) (heads, t
 	}
 }
 
-// Free returns one block to the free list.
+// AllocPayload allocates a chain able to hold n payload bytes, returning
+// both endpoints. In span mode the chain is one contiguous span whenever
+// a long enough free run exists (several spans under fragmentation); in
+// classic mode it is BlocksFor(n) linked blocks, allocated in a single
+// free-list transaction. wait and stop have AllocWait's semantics,
+// applied to the chain's worst-case block demand.
+func (a *Arena) AllocPayload(n int, wait bool, stop <-chan struct{}) (head, tail int32, err error) {
+	heads, tails, err := a.AllocPayloads([]int{n}, wait, stop)
+	if err != nil {
+		return NilOffset, NilOffset, err
+	}
+	return heads[0], tails[0], nil
+}
+
+// AllocPayloads is the batch form of AllocPayload: one chain per payload
+// length in ns, all allocated under a single lock acquisition — the
+// allocator half of the batched send path, span-aware. Either every
+// chain is built or none is.
+//
+// The block demand used for capacity checks and the wait loop is the
+// fully-fragmented worst case, BlocksFor(len): a span of L blocks holds
+// L*blockSize-4 >= L*(blockSize-4) payload bytes, so once that demand is
+// free the greedy span builder cannot run out.
+func (a *Arena) AllocPayloads(ns []int, wait bool, stop <-chan struct{}) (heads, tails []int32, err error) {
+	if !a.spans {
+		blocks := make([]int, len(ns))
+		for i, n := range ns {
+			blocks[i] = a.BlocksFor(n)
+		}
+		return a.AllocChains(blocks, wait, stop)
+	}
+	total := int32(0)
+	for _, n := range ns {
+		if n < 0 {
+			return nil, nil, fmt.Errorf("shm: AllocPayloads payload of %d bytes", n)
+		}
+		total += int32(a.BlocksFor(n))
+	}
+	if len(ns) == 0 {
+		return nil, nil, nil
+	}
+	if total > a.nBlocks {
+		return nil, nil, fmt.Errorf("shm: AllocPayloads batch of %d blocks exceeds region of %d: %w",
+			total, a.nBlocks, ErrOutOfBlocks)
+	}
+	for {
+		a.mu.Lock()
+		if a.nFree >= total {
+			heads = make([]int32, len(ns))
+			tails = make([]int32, len(ns))
+			for i, n := range ns {
+				heads[i], tails[i] = a.spanChainLocked(n)
+			}
+			a.mu.Unlock()
+			return heads, tails, nil
+		}
+		if !wait {
+			a.stats.AllocFails++
+			a.mu.Unlock()
+			return nil, nil, ErrOutOfBlocks
+		}
+		a.stats.AllocBlocks++
+		a.waiters++
+		ch := a.cond.ch
+		a.mu.Unlock()
+		aborted := false
+		select {
+		case <-ch:
+			// Frees arrived; retry the whole reservation.
+		case <-stop:
+			aborted = true
+		}
+		a.mu.Lock()
+		a.waiters--
+		a.mu.Unlock()
+		if aborted {
+			return nil, nil, ErrOutOfBlocks
+		}
+	}
+}
+
+// Free returns one block (or, in span mode, the whole span starting at
+// off) to the free pool.
 func (a *Arena) Free(off int32) {
 	a.checkOffset(off)
 	a.mu.Lock()
+	if a.spans {
+		a.freeSpanLocked(off)
+		a.wakeAndUnlock()
+		return
+	}
 	a.setLink(off, a.freeHead)
 	a.freeHead = off
 	a.nFree++
 	a.stats.Frees++
-	// Wake by replace-and-close only; waiters de-register themselves
-	// (see AllocWait), so a waiter aborting on stop can never consume
-	// another waiter's registration.
+	a.wakeAndUnlock()
+}
+
+// wakeAndUnlock releases the lock, waking block-pool waiters by
+// replace-and-close only; waiters de-register themselves (see
+// AllocWait), so a waiter aborting on stop can never consume another
+// waiter's registration.
+func (a *Arena) wakeAndUnlock() {
 	if a.waiters > 0 {
 		old := a.cond.ch
 		a.cond.ch = make(chan struct{})
@@ -371,13 +665,32 @@ func (a *Arena) Free(off int32) {
 	a.mu.Unlock()
 }
 
-// FreeChain returns a linked chain of blocks (as built by AllocChain or by
-// message assembly) to the free list in one lock acquisition.
+// FreeChain returns a linked chain (as built by AllocChain, AllocPayload
+// or message assembly) to the free pool in one lock acquisition. In span
+// mode each chain element is a span; its full run of blocks is returned.
 func (a *Arena) FreeChain(head int32) {
 	if head == NilOffset {
 		return
 	}
 	a.checkOffset(head)
+	if a.spans {
+		// Collect element offsets outside the lock: link words of a
+		// chain being freed are owned by the caller until the release.
+		// The stack buffer covers the common case (a single span, or a
+		// lightly fragmented chain) without a heap allocation per free.
+		var offsBuf [8]int32
+		offs := offsBuf[:0]
+		for off := head; off != NilOffset; off = a.link(off) {
+			a.checkOffset(off)
+			offs = append(offs, off)
+		}
+		a.mu.Lock()
+		for _, off := range offs {
+			a.freeSpanLocked(off)
+		}
+		a.wakeAndUnlock()
+		return
+	}
 	// Find the tail and count, outside the lock: link words of blocks
 	// being freed are owned by the caller until the splice below.
 	n := int32(1)
@@ -396,14 +709,7 @@ func (a *Arena) FreeChain(head int32) {
 	a.freeHead = head
 	a.nFree += n
 	a.stats.Frees += uint64(n)
-	if a.waiters > 0 {
-		old := a.cond.ch
-		a.cond.ch = make(chan struct{})
-		a.mu.Unlock()
-		close(old)
-		return
-	}
-	a.mu.Unlock()
+	a.wakeAndUnlock()
 }
 
 // Next returns the block following off in a chain, or NilOffset.
@@ -421,11 +727,28 @@ func (a *Arena) SetNext(off, next int32) {
 	a.setLink(off, next)
 }
 
-// Payload returns the payload bytes of the block at off. The returned
-// slice aliases the arena; the caller owns the block.
+// Payload returns the payload bytes of the single block at off. The
+// returned slice aliases the arena; the caller owns the block.
 func (a *Arena) Payload(off int32) []byte {
 	a.checkOffset(off)
 	return a.mem[off+4 : off+a.blockSize]
+}
+
+// SegPayload returns the payload bytes of the chain element at off: the
+// block's payload in classic mode, the whole span's in span mode (one
+// 4-byte link word however many blocks the span covers). The returned
+// slice aliases the arena; the caller owns the element. This is the
+// segment accessor msg.View iterates.
+func (a *Arena) SegPayload(off int32) []byte {
+	a.checkOffset(off)
+	k := int32(1)
+	if a.spans {
+		k = a.spanLen[a.blockIndex(off)]
+		if k < 1 {
+			panic(fmt.Sprintf("shm: SegPayload of unallocated span at offset %d", off))
+		}
+	}
+	return a.mem[off+4 : off+k*a.blockSize]
 }
 
 // checkOffset panics if off is not a valid block offset. Offset bugs in a
@@ -449,8 +772,7 @@ func (a *Arena) BlocksFor(n int) int {
 }
 
 // WriteChain copies buf into the chain starting at head, returning the
-// number of bytes written. The chain must have at least BlocksFor(len(buf))
-// blocks.
+// number of bytes written. The chain's payload capacity must cover buf.
 func (a *Arena) WriteChain(head int32, buf []byte) int {
 	written := 0
 	off := head
@@ -458,7 +780,7 @@ func (a *Arena) WriteChain(head int32, buf []byte) int {
 		if off == NilOffset {
 			panic("shm: WriteChain ran out of blocks")
 		}
-		n := copy(a.Payload(off), buf[written:])
+		n := copy(a.SegPayload(off), buf[written:])
 		written += n
 		off = a.Next(off)
 	}
@@ -478,7 +800,7 @@ func (a *Arena) ReadChain(head int32, length int, buf []byte) int {
 		if off == NilOffset {
 			panic("shm: ReadChain ran out of blocks")
 		}
-		p := a.Payload(off)
+		p := a.SegPayload(off)
 		remain := want - read
 		if remain < len(p) {
 			p = p[:remain]
@@ -489,8 +811,9 @@ func (a *Arena) ReadChain(head int32, length int, buf []byte) int {
 	return read
 }
 
-// ChainLen walks a chain and returns its block count. Intended for tests
-// and invariant checks.
+// ChainLen walks a chain and returns its element count (segments, not
+// blocks — the two differ in span mode). Intended for tests and
+// invariant checks.
 func (a *Arena) ChainLen(head int32) int {
 	n := 0
 	for off := head; off != NilOffset; off = a.Next(off) {
@@ -499,12 +822,43 @@ func (a *Arena) ChainLen(head int32) int {
 	return n
 }
 
-// CheckFreeList verifies free-list integrity: every free block is a valid
-// offset, no block appears twice, and the count matches nFree. It is an
-// O(nBlocks) diagnostic for tests.
+// ChainBlocks walks a chain and returns the number of region blocks it
+// occupies (span-aware). Intended for tests and invariant checks.
+func (a *Arena) ChainBlocks(head int32) int {
+	n := int32(0)
+	for off := head; off != NilOffset; off = a.Next(off) {
+		a.checkOffset(off)
+		if a.spans {
+			n += a.spanLen[a.blockIndex(off)]
+		} else {
+			n++
+		}
+	}
+	return int(n)
+}
+
+// CheckFreeList verifies free-pool integrity: every free block is a valid
+// offset, no block appears twice, and the count matches nFree (in span
+// mode, that the bitmap population matches nFree). It is an O(nBlocks)
+// diagnostic for tests.
 func (a *Arena) CheckFreeList() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.spans {
+		n := int32(0)
+		for i, w := range a.freeBits {
+			if i == len(a.freeBits)-1 && a.nBlocks%64 != 0 {
+				if w>>(a.nBlocks%64) != 0 {
+					return fmt.Errorf("shm: free bitmap marks blocks beyond the region")
+				}
+			}
+			n += int32(bits.OnesCount64(w))
+		}
+		if n != a.nFree {
+			return fmt.Errorf("shm: free bitmap has %d blocks, counter says %d", n, a.nFree)
+		}
+		return nil
+	}
 	seen := make(map[int32]bool, a.nFree)
 	n := int32(0)
 	for off := a.freeHead; off != NilOffset; off = a.link(off) {

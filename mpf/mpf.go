@@ -147,6 +147,15 @@ func WithRegistryShards(n int) Option { return func(c *core.Config) { c.Registry
 // exhausted instead of blocking until blocks are recycled.
 func WithFailFastSend() Option { return func(c *core.Config) { c.SendPolicy = core.FailFast } }
 
+// WithClassicChains reverts the shared region to the paper's exact
+// allocation layout: a linked free list of individual blocks, so every
+// multi-block payload is a fragmented chain. The default is the
+// contiguous-span allocator, which lays each payload in one run of
+// adjacent blocks whenever fragmentation permits — what makes
+// single-slice zero-copy Loans and Views the common case. This option
+// is the copy ablation's paper-plane baseline (mpfbench -copies).
+func WithClassicChains() Option { return func(c *core.Config) { c.ClassicChains = true } }
+
 // WithGlobalPulseMux reverts ReceiveAny to the pre-selector wakeup
 // scheme — one facility-wide pulse per Send waking every parked
 // waiter. It exists only as the ablation baseline the selector-scaling

@@ -49,8 +49,10 @@ const maxBatchChunks = 16
 // spans several chunks goes out in batches of up to maxBatchChunks
 // (SendBatch), paying the circuit lock and receiver wakeup once per
 // batch instead of once per chunk; no other sender's message
-// interleaves a batch. Writes too large for batching degrade to the
-// chunk-by-chunk streaming of a plain Send loop.
+// interleaves a batch. Single-chunk writes ride the loan plane
+// (SendConn.Loan): the chunk is copied straight into the loaned blocks
+// and committed, one copy end to end, the same internal path a
+// zero-copy producer uses.
 func (w *Writer) Write(p []byte) (int, error) {
 	if w.err != nil {
 		return 0, w.err
@@ -59,8 +61,7 @@ func (w *Writer) Write(p []byte) (int, error) {
 		return 0, nil
 	}
 	if len(p) <= w.chunk {
-		if err := w.s.Send(p); err != nil {
-			w.err = err
+		if err := w.sendViaLoan(p); err != nil {
 			return 0, err
 		}
 		return len(p), nil
@@ -89,17 +90,33 @@ func (w *Writer) Write(p []byte) (int, error) {
 		}
 		var err error
 		if len(chunks) == 1 {
-			err = w.s.Send(chunks[0])
-		} else {
-			err = w.s.SendBatch(chunks)
+			err = w.sendViaLoan(chunks[0])
+		} else if err = w.s.SendBatch(chunks); err != nil {
+			w.err = err
 		}
 		if err != nil {
-			w.err = err
 			return written, err
 		}
 		written = end
 	}
 	return written, nil
+}
+
+// sendViaLoan ships one chunk through the loan plane: allocate, copy
+// the caller's bytes in place, commit. Equivalent to Send but built on
+// the same primitives a zero-copy producer uses.
+func (w *Writer) sendViaLoan(chunk []byte) error {
+	ln, err := w.s.Loan(len(chunk))
+	if err != nil {
+		w.err = err
+		return err
+	}
+	ln.CopyFrom(chunk)
+	if err := ln.Commit(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
 }
 
 // Close sends the end-of-stream marker. The underlying connection stays

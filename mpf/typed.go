@@ -24,14 +24,21 @@ func NewTypedSender[T any](s *SendConn) *TypedSender[T] {
 	return &TypedSender[T]{s: s}
 }
 
-// Send encodes v as one message. Not safe for concurrent use (a
-// "process" is a single thread of control, as in the paper).
+// Send encodes v as one message, shipped through the loan plane: the
+// encoded bytes are copied straight into loaned blocks and committed,
+// one copy end to end. Not safe for concurrent use (a "process" is a
+// single thread of control, as in the paper).
 func (t *TypedSender[T]) Send(v T) error {
 	t.buf.Reset()
 	if err := gob.NewEncoder(&t.buf).Encode(&v); err != nil {
 		return fmt.Errorf("mpf: typed send encode: %w", err)
 	}
-	return t.s.Send(t.buf.Bytes())
+	ln, err := t.s.Loan(t.buf.Len())
+	if err != nil {
+		return err
+	}
+	ln.CopyFrom(t.buf.Bytes())
+	return ln.Commit()
 }
 
 // SendBatch encodes each value as its own self-contained message and
