@@ -6,6 +6,7 @@
 //	mpfbench -contention [-quick]
 //	mpfbench -select [-quick]
 //	mpfbench -copies [-quick]
+//	mpfbench -loanbatch [-quick]
 //	mpfbench -json BENCH.json [-quick]
 //	mpfbench -ablate schemes|blocksize|lockcost|paradigm [-quick]
 //
@@ -29,9 +30,15 @@
 // structural copies), the span-allocated copy plane, and the zero-copy
 // plane (loans in, views out).
 //
+// -loanbatch runs the batched zero-copy ablation: delivered throughput
+// and arena lock acquisitions per message versus batch size for the
+// batched pipeline (LoanBatch/CommitAll + Selector.WaitViews) against
+// the per-message loan/view plane.
+//
 // -json measures the machine-readable performance trajectory — the
-// contention, selector and copies headlines — and writes it to the
-// given path (default BENCH.json); CI uploads the file as an artifact.
+// contention, selector, copies and loan-batch headlines — and writes
+// it to the given path (default BENCH.json); CI uploads the file as an
+// artifact.
 package main
 
 import (
@@ -53,6 +60,7 @@ func main() {
 	contention := flag.Bool("contention", false, "contention-scaling benchmark: sharded registry + batched sends vs the paper's single lock")
 	sel := flag.Bool("select", false, "selector-scaling benchmark: per-circuit wakeups vs the global activity pulse")
 	copies := flag.Bool("copies", false, "copy ablation: paper plane vs span copy plane vs zero-copy loan/view plane")
+	loanbatch := flag.Bool("loanbatch", false, "batched zero-copy ablation: LoanBatch/WaitViews pipeline vs the per-message loan/view plane")
 	jsonOut := flag.String("json", "", "measure the perf trajectory and write it as JSON to this path (use BENCH.json for the CI artifact)")
 	flag.Parse()
 
@@ -72,6 +80,8 @@ func main() {
 		for _, p := range summary.Copies {
 			fmt.Printf(" %.1fx@%dB/fan%d", p.Advantage, p.PayloadBytes, p.FanOut)
 		}
+		fmt.Printf(", loanbatch %.1fx throughput / %.1fx lock amortisation",
+			summary.LoanBatch.Advantage, summary.LoanBatch.LockAmortisation)
 		fmt.Println(")")
 		return
 	}
@@ -84,6 +94,17 @@ func main() {
 		}
 		fmt.Println(bySize.Render())
 		fmt.Println(byFanout.Render())
+		return
+	}
+
+	if *loanbatch {
+		throughput, locks, err := bench.LoanBatchSweep(bench.Config{Mode: bench.Native, Quick: *quick})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpfbench: loanbatch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(throughput.Render())
+		fmt.Println(locks.Render())
 		return
 	}
 

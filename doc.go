@@ -14,14 +14,20 @@
 // offers batched send/receive primitives that pay the per-message
 // fixed costs once per batch (DESIGN.md §6), multiplexes thousands of
 // circuits per goroutine through an event-driven Selector with
-// per-circuit wakeups (DESIGN.md §10), and carries a zero-copy payload
+// per-circuit wakeups (DESIGN.md §10), carries a zero-copy payload
 // plane (DESIGN.md §11): contiguous-span block allocation, loaned send
 // buffers written in place (SendConn.Loan) and pinned receive views
 // read in place (RecvConn.ReceiveView), which make the paper's two
 // structural copies optional — BROADCAST fan-out reads one shared
-// payload instance instead of taking one copy per receiver. mpfbench
-// -contention, -select and -copies quantify these against the paper's
-// single-lock, single-pulse, two-copy layout, and mpfbench -json
+// payload instance instead of taking one copy per receiver — and
+// batches that plane end to end (DESIGN.md §12): SendConn.LoanBatch
+// allocates N send windows in one arena transaction and commits them
+// under one circuit lock, while Selector.WaitViews harvests ready
+// circuits into pinned views inside the wait round and ReleaseViews
+// returns them in per-circuit transactions, so the per-message fixed
+// costs are paid per batch. mpfbench -contention, -select, -copies
+// and -loanbatch quantify these against the paper's single-lock,
+// single-pulse, two-copy, per-message layout, and mpfbench -json
 // records the headline numbers as a machine-readable BENCH.json. CI
 // (.github/workflows/ci.yml) gates build, vet, gofmt, the unit suite,
 // a race-detector subset, a benchmark smoke, the perf-trajectory

@@ -1,16 +1,21 @@
-// Eventloop: a multiplexed server draining many producer circuits from
-// a single goroutine with mpf.Selector — the many-circuits-per-event-
-// loop shape the paper's check_receive polling idiom could only
-// approximate. Each producer owns a private circuit and ships its
-// records in batches; one consumer parks on a Selector over all of
-// them and wakes only when one of its circuits has traffic, doing
-// O(ready) work per wakeup however many circuits sit idle.
+// Eventloop: a multiplexed zero-copy server draining many producer
+// circuits from a single goroutine — the default server shape the
+// batched payload plane is built for. Each producer owns a private
+// circuit and ships its records in LoanBatches: one arena transaction
+// and one circuit lock acquisition per batch, the records produced in
+// place in shared memory. One consumer parks on a Selector over all of
+// the circuits and drains them with WaitViews: ready circuits are
+// claimed into pinned views inside the wait round — one circuit lock
+// per ready circuit, not per message — read in place, and released in
+// a batch (one arena transaction per circuit run). No payload byte is
+// copied anywhere end to end.
 //
-// The run ends with the facility's wakeup accounting: wakeups per
-// message stays around one (and spurious wakeups near zero) no matter
-// how many producers — and therefore idle circuits — the loop
-// multiplexes. Compare `mpfbench -select` for the same shape measured
-// against the legacy global-pulse baseline.
+// The run ends with the facility's accounting: wakeups per message
+// stays well below one however many circuits the loop multiplexes, and
+// the copy ledger must show zero payload copies in either direction —
+// the run aborts otherwise, which is what CI's example smoke checks.
+// Compare `mpfbench -select` and `mpfbench -loanbatch` for the same
+// shapes measured against their ablation baselines.
 //
 //	go run ./examples/eventloop [-producers 8] [-msgs 5000] [-batch 16]
 package main
@@ -27,7 +32,7 @@ import (
 func main() {
 	producers := flag.Int("producers", 8, "producer processes, one circuit each")
 	msgs := flag.Int("msgs", 5000, "messages per producer")
-	batch := flag.Int("batch", 16, "producer send batch size")
+	batch := flag.Int("batch", 16, "producer loan-batch size and consumer harvest budget")
 	flag.Parse()
 	if *producers < 1 || *msgs < 1 || *batch < 1 {
 		log.Fatalf("eventloop: need positive -producers, -msgs, -batch")
@@ -49,7 +54,7 @@ func main() {
 		if p.PID() < *producers {
 			return produce(p, *msgs, *batch)
 		}
-		return consume(p, *producers, *msgs, counts, &elapsed)
+		return consume(p, *producers, *msgs, *batch, counts, &elapsed)
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -66,42 +71,75 @@ func main() {
 		float64(total)/elapsed.Seconds())
 	fmt.Printf("park wakeups: %d (%.3f per message), spurious: %d\n",
 		st.MuxWakeups, float64(st.MuxWakeups)/float64(total), st.MuxSpurious)
+	fmt.Printf("ledger: %d loan-batch sends, %d harvested views, %d/%d payload copies in/out\n",
+		st.LoanBatchSends, st.HarvestedViews, st.PayloadCopiesIn, st.PayloadCopiesOut)
+	// The whole point of the batched zero-copy pipeline: not one payload
+	// byte copied in either direction. CI runs this example at fan-out 8
+	// and relies on the check.
+	if st.PayloadCopiesIn != 0 || st.PayloadCopiesOut != 0 {
+		log.Fatalf("eventloop: payload copies leaked onto the zero-copy pipeline: in=%d out=%d",
+			st.PayloadCopiesIn, st.PayloadCopiesOut)
+	}
+	if st.HarvestedViews != uint64(total) {
+		log.Fatalf("eventloop: %d messages but %d harvested views", total, st.HarvestedViews)
+	}
 }
 
-// produce ships msgs records on this producer's private circuit. No
-// ready handshake is needed: records sent before the event loop joins
-// are retained and inherited by the first receiver, and the send
-// connection stays open (until Shutdown) so the circuit cannot die in
-// the gap.
+// produce ships msgs records on this producer's private circuit in
+// loan batches: the records are produced directly into shared-memory
+// spans and committed in groups, one arena transaction and one circuit
+// lock per group. No ready handshake is needed: records sent before
+// the event loop joins are retained and inherited by the first
+// receiver, and the send connection stays open (until Shutdown) so the
+// circuit cannot die in the gap.
 func produce(p *mpf.Process, msgs, batch int) error {
 	s, err := p.OpenSend(fmt.Sprintf("work-%d", p.PID()))
 	if err != nil {
 		return err
 	}
-	bufs := make([][]byte, 0, batch)
+	recs := make([][]byte, 0, batch)
+	ns := make([]int, 0, batch)
+	flush := func() error {
+		if len(recs) == 0 {
+			return nil
+		}
+		lb, err := s.LoanBatch(ns)
+		if err != nil {
+			return err
+		}
+		for i, rec := range recs {
+			lb.Fill(i, rec) // production into the loaned span
+		}
+		if err := lb.CommitAll(); err != nil {
+			return err
+		}
+		recs, ns = recs[:0], ns[:0]
+		return nil
+	}
 	for k := 0; k < msgs; k++ {
 		rec := fmt.Appendf(nil, "producer %d record %d", p.PID(), k)
-		bufs = append(bufs, rec)
-		if len(bufs) == batch || k == msgs-1 {
-			if err := s.SendBatch(bufs); err != nil {
+		recs = append(recs, rec)
+		ns = append(ns, len(rec))
+		if len(recs) == batch {
+			if err := flush(); err != nil {
 				return err
 			}
-			bufs = bufs[:0]
 		}
 	}
-	return nil
+	return flush()
 }
 
-// consume multiplexes every producer circuit through one Selector,
-// draining ready circuits with TryReceive until all traffic has
-// arrived.
-func consume(p *mpf.Process, producers, msgs int, counts []int, elapsed *time.Duration) error {
+// consume multiplexes every producer circuit through one Selector and
+// drains it with WaitViews: each wait round hands back a batch of
+// pinned views — already claimed, read in place, attributed to their
+// circuits — which are then released together.
+func consume(p *mpf.Process, producers, msgs, batch int, counts []int, elapsed *time.Duration) error {
 	sel, err := p.NewSelector()
 	if err != nil {
 		return err
 	}
 	defer sel.Close()
-	byConn := make(map[*mpf.RecvConn]int, producers)
+	byID := make(map[mpf.ID]int, producers)
 	for i := 0; i < producers; i++ {
 		rc, err := p.OpenReceive(fmt.Sprintf("work-%d", i), mpf.FCFS)
 		if err != nil {
@@ -110,33 +148,32 @@ func consume(p *mpf.Process, producers, msgs int, counts []int, elapsed *time.Du
 		if err := sel.Add(rc); err != nil {
 			return err
 		}
-		byConn[rc] = i
+		byID[rc.ID()] = i
 	}
 
 	start := time.Now()
-	buf := make([]byte, 256)
 	total, want := 0, producers*msgs
+	budget := batch * producers
 	for total < want {
 		// A generous deadline turns a wedged producer (its circuit
 		// stays open, so no close wakeup would ever arrive) into a
 		// diagnosable error instead of a silent hang.
-		ready, err := sel.WaitDeadline(10 * time.Second)
+		views, err := sel.WaitViewsDeadline(budget, 10*time.Second)
 		if err != nil {
 			return fmt.Errorf("event loop after %d of %d messages: %w", total, want, err)
 		}
-		for _, rc := range ready {
-			for {
-				_, ok, err := rc.TryReceive(buf)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					break
-				}
-				counts[byConn[rc]]++
-				total++
+		for _, v := range views {
+			// Read the record where it lives; contiguous is the common
+			// case under span allocation.
+			if b, ok := v.Bytes(); !ok || len(b) == 0 {
+				v.Segments(func(seg []byte) bool { _ = seg[0]; return true })
+			} else {
+				_ = b[0]
 			}
+			counts[byID[v.Circuit()]]++
+			total++
 		}
+		mpf.ReleaseViews(views)
 	}
 	*elapsed = time.Since(start)
 	return nil

@@ -62,6 +62,10 @@ type CopiesResult struct {
 	MsgsPerSec float64
 	// MBPerSec is delivered payload megabytes per second.
 	MBPerSec float64
+	// ArenaLocksPerMsg is arena free-pool lock acquisitions per message
+	// sent during the run — the fixed cost the batched plane amortises
+	// (shm.Arena.LockStats bracketing the run).
+	ArenaLocksPerMsg float64
 	// Stats is the facility's counter snapshot, carrying the copy
 	// ledger (PayloadCopiesIn/Out, LoanSends, ViewReceives) the gate
 	// test asserts on.
@@ -100,6 +104,7 @@ func NativeCopies(plane CopyPlane, msgLen, fanout, msgs int) (CopiesResult, erro
 	for i := range payload {
 		payload[i] = byte(i)
 	}
+	arenaAcq0, _ := fac.Core().Arena().LockStats()
 	start := time.Now()
 	err = fac.Run(fanout+1, func(p *mpf.Process) error {
 		if p.PID() == 0 {
@@ -168,14 +173,16 @@ func NativeCopies(plane CopyPlane, msgLen, fanout, msgs int) (CopiesResult, erro
 		return nil
 	})
 	elapsed := time.Since(start)
+	arenaAcq1, _ := fac.Core().Arena().LockStats()
 	if err != nil {
 		return CopiesResult{}, err
 	}
 	deliveries := msgs * fanout
 	return CopiesResult{
-		MsgsPerSec: rate(deliveries, elapsed),
-		MBPerSec:   rate(deliveries, elapsed) * float64(msgLen) / (1 << 20),
-		Stats:      fac.Stats(),
+		MsgsPerSec:       rate(deliveries, elapsed),
+		MBPerSec:         rate(deliveries, elapsed) * float64(msgLen) / (1 << 20),
+		ArenaLocksPerMsg: float64(arenaAcq1-arenaAcq0) / float64(msgs),
+		Stats:            fac.Stats(),
 	}, nil
 }
 
@@ -231,4 +238,233 @@ func CopiesSweep(cfg Config) (bySize, byFanout *stats.Figure, err error) {
 		}
 	}
 	return bySize, byFanout, nil
+}
+
+// The batched zero-copy plane's ablation. The copies ablation above
+// showed the 4 KiB zero-copy advantage is fixed-cost-bound: with the
+// structural copies gone, what remains per message is one arena
+// free-pool transaction per loan and one registry-resolve + circuit
+// lock per view. NativeLoanBatch measures the pipeline that amortises
+// both — LoanBatch/CommitAll on the send side, Selector.WaitViews +
+// ReleaseViews on the receive side — against the per-message zero-copy
+// plane (Loan/Commit, Selector.Wait + TryReceiveView/Release) on the
+// identical event-loop workload, reporting throughput and arena lock
+// acquisitions per message.
+
+// LoanBatchSize and LoanBatchPayload are the headline configuration
+// the gate test and BENCH.json measure: batches of 16 messages of
+// 4 KiB.
+const (
+	LoanBatchSize    = 16
+	LoanBatchPayload = 4096
+)
+
+// LoanBatchResult is one batched-plane run's outcome.
+type LoanBatchResult struct {
+	// MsgsPerSec is delivered messages per second (single receiver).
+	MsgsPerSec float64
+	// ArenaLocksPerMsg is arena free-pool lock acquisitions per
+	// message over the whole run — allocation and free sides combined.
+	ArenaLocksPerMsg float64
+	// Stats carries the ledger (LoanBatchSends, HarvestedViews,
+	// PayloadCopiesIn/Out) the gate asserts on.
+	Stats mpf.Stats
+}
+
+// NativeLoanBatch moves msgs stamped messages of msgLen bytes from one
+// sender to one FCFS event-loop receiver over the zero-copy plane.
+// With batched set the traffic rides LoanBatch/CommitAll and
+// Selector.WaitViews/ReleaseViews in groups of batch; otherwise each
+// message pays the per-message loan/view costs (Loan/Commit,
+// Selector.Wait + TryReceiveView/Release) — the PR 3 idiom. The
+// receiver validates a byte at each end of every payload in place.
+func NativeLoanBatch(batched bool, msgLen, batch, msgs int) (LoanBatchResult, error) {
+	if msgLen < 2 || batch < 1 || msgs < 1 {
+		return LoanBatchResult{}, fmt.Errorf("bench: loanbatch(msgLen=%d, batch=%d, msgs=%d)", msgLen, batch, msgs)
+	}
+	fac, err := mpf.New(
+		mpf.WithMaxProcesses(2),
+		mpf.WithMaxLNVCs(4),
+		mpf.WithBlocksPerProcess(blocksFor(msgLen, 4*batch)),
+	)
+	if err != nil {
+		return LoanBatchResult{}, err
+	}
+	defer fac.Shutdown()
+
+	check := func(b []byte, seq int) error {
+		if len(b) != msgLen || b[0] != byte(seq) || b[msgLen-1] != byte(seq) {
+			return fmt.Errorf("bench: loanbatch receiver: bad payload at msg %d", seq)
+		}
+		return nil
+	}
+	fallback := make([]byte, msgLen) // fragmented-loan fill, stamped per message
+	arenaAcq0, _ := fac.Core().Arena().LockStats()
+	start := time.Now()
+	err = fac.Run(2, func(p *mpf.Process) error {
+		if p.PID() == 0 {
+			s, err := p.OpenSend("loanbatch")
+			if err != nil {
+				return err
+			}
+			// No ready handshake needed: the send connection keeps the
+			// circuit alive and the late-joining FCFS receiver inherits
+			// the backlog (reclamation rule 5).
+			ns := make([]int, batch)
+			for i := range ns {
+				ns[i] = msgLen
+			}
+			if !batched {
+				for i := 0; i < msgs; i++ {
+					ln, err := s.Loan(msgLen)
+					if err != nil {
+						return err
+					}
+					if b, ok := ln.Bytes(); ok {
+						b[0], b[msgLen-1] = byte(i), byte(i)
+					} else {
+						fallback[0], fallback[msgLen-1] = byte(i), byte(i)
+						ln.View().CopyFrom(fallback)
+					}
+					if err := ln.Commit(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for i := 0; i < msgs; i += batch {
+				k := batch
+				if k > msgs-i {
+					k = msgs - i
+				}
+				lb, err := s.LoanBatch(ns[:k])
+				if err != nil {
+					return err
+				}
+				for j := 0; j < k; j++ {
+					if b, ok := lb.Bytes(j); ok {
+						b[0], b[msgLen-1] = byte(i+j), byte(i+j)
+					} else {
+						fallback[0], fallback[msgLen-1] = byte(i+j), byte(i+j)
+						lb.Fill(j, fallback)
+					}
+				}
+				if err := lb.CommitAll(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		rc, err := p.OpenReceive("loanbatch", mpf.FCFS)
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		sel, err := p.NewSelector()
+		if err != nil {
+			return err
+		}
+		defer sel.Close()
+		if err := sel.Add(rc); err != nil {
+			return err
+		}
+		got := 0
+		verify := func(v *mpf.View) error {
+			if b, ok := v.Bytes(); ok {
+				return check(b, got)
+			}
+			buf := make([]byte, msgLen)
+			v.CopyTo(buf)
+			return check(buf, got)
+		}
+		for got < msgs {
+			if !batched {
+				// Per-message plane: the readiness wait, then one
+				// registry resolve + circuit lock per message.
+				if _, err := sel.WaitDeadline(10 * time.Second); err != nil {
+					return fmt.Errorf("after %d of %d: %w", got, msgs, err)
+				}
+				for got < msgs {
+					v, ok, err := rc.TryReceiveView()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						break
+					}
+					if err := verify(v); err != nil {
+						v.Release()
+						return err
+					}
+					got++
+					v.Release()
+				}
+				continue
+			}
+			vs, err := sel.WaitViewsDeadline(batch, 10*time.Second)
+			if err != nil {
+				return fmt.Errorf("after %d of %d: %w", got, msgs, err)
+			}
+			for _, v := range vs {
+				if err := verify(v); err != nil {
+					mpf.ReleaseViews(vs)
+					return err
+				}
+				got++
+			}
+			mpf.ReleaseViews(vs)
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	arenaAcq1, _ := fac.Core().Arena().LockStats()
+	if err != nil {
+		return LoanBatchResult{}, err
+	}
+	return LoanBatchResult{
+		MsgsPerSec:       rate(msgs, elapsed),
+		ArenaLocksPerMsg: float64(arenaAcq1-arenaAcq0) / float64(msgs),
+		Stats:            fac.Stats(),
+	}, nil
+}
+
+// LoanBatchSweep runs the batched-plane ablation and returns two
+// figures at LoanBatchPayload bytes: delivered throughput versus batch
+// size, and arena lock acquisitions per message versus batch size, one
+// series per plane in each. The per-message plane does not batch, so
+// it is measured once at the headline region size (batch only sizes
+// the region in NativeLoanBatch) and drawn as the genuinely flat
+// baseline — re-measuring it per batch point would vary its
+// backpressure with the x-axis for reasons unrelated to batching.
+func LoanBatchSweep(cfg Config) (throughput, locks *stats.Figure, err error) {
+	msgs := cfg.scale(4000, 600)
+	batches := []int{1, 4, 16, 64}
+	if cfg.Quick {
+		batches = []int{4, 16}
+	}
+	throughput = stats.NewFigure(
+		fmt.Sprintf("LoanBatch Ablation — Delivered Msgs/s vs. Batch Size (native, %d-byte payloads)", LoanBatchPayload),
+		"batch", "msgs/sec")
+	locks = stats.NewFigure(
+		fmt.Sprintf("LoanBatch Ablation — Arena Lock Acquisitions per Message vs. Batch Size (native, %d-byte payloads)", LoanBatchPayload),
+		"batch", "locks/msg")
+	perMsgT := throughput.AddSeries("per-message zero-copy plane (loan/view)")
+	batchedT := throughput.AddSeries("batched plane (LoanBatch/WaitViews)")
+	perMsgL := locks.AddSeries("per-message zero-copy plane (loan/view)")
+	batchedL := locks.AddSeries("batched plane (LoanBatch/WaitViews)")
+	per, err := NativeLoanBatch(false, LoanBatchPayload, LoanBatchSize, msgs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loanbatch per-message: %w", err)
+	}
+	for _, batch := range batches {
+		bat, err := NativeLoanBatch(true, LoanBatchPayload, batch, msgs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("loanbatch batched batch=%d: %w", batch, err)
+		}
+		perMsgT.Add(batch, per.MsgsPerSec)
+		batchedT.Add(batch, bat.MsgsPerSec)
+		perMsgL.Add(batch, per.ArenaLocksPerMsg)
+		batchedL.Add(batch, bat.ArenaLocksPerMsg)
+	}
+	return throughput, locks, nil
 }

@@ -7,11 +7,12 @@ import (
 )
 
 // Machine-readable performance trajectory. Summary runs compact
-// versions of the three headline benchmarks — contention scaling
-// (PR 1), selector wakeups (PR 2) and the copies ablation (PR 3) —
-// and JSONSummary.Write serialises the result as BENCH.json, which CI
-// uploads as an artifact so the repository's throughput history can be
-// charted across commits without re-parsing log text.
+// versions of the four headline benchmarks — contention scaling
+// (PR 1), selector wakeups (PR 2), the copies ablation (PR 3) and the
+// batched loan/harvest plane (PR 4) — and JSONSummary.Write serialises
+// the result as BENCH.json, which CI uploads as an artifact so the
+// repository's throughput history can be charted across commits
+// without re-parsing log text.
 
 // JSONSummary is the BENCH.json schema. All throughput figures are
 // operations per second; ratios are dimensionless.
@@ -39,6 +40,24 @@ type JSONSummary struct {
 	} `json:"selector"`
 
 	Copies []CopiesPoint `json:"copies"`
+
+	// LoanBatch is the PR 4 headline: the batched zero-copy pipeline
+	// (LoanBatch/CommitAll + Selector.WaitViews/ReleaseViews) against
+	// the per-message loan/view plane, with the per-plane arena
+	// free-pool lock traffic that shows the amortisation itself, not
+	// just its throughput effect.
+	LoanBatch struct {
+		Batch                      int     `json:"batch"`
+		PayloadBytes               int     `json:"payload_bytes"`
+		PerMessageMsgsPerSec       float64 `json:"per_message_msgs_per_sec"`
+		BatchedMsgsPerSec          float64 `json:"batched_msgs_per_sec"`
+		Advantage                  float64 `json:"advantage"`
+		PerMessageArenaLocksPerMsg float64 `json:"per_message_arena_locks_per_msg"`
+		BatchedArenaLocksPerMsg    float64 `json:"batched_arena_locks_per_msg"`
+		// LockAmortisation is per-message locks/msg over batched
+		// locks/msg; the CI gate wants >= 8.
+		LockAmortisation float64 `json:"lock_amortisation"`
+	} `json:"loan_batch"`
 }
 
 // CopiesPoint is one copies-ablation measurement in BENCH.json.
@@ -50,12 +69,16 @@ type CopiesPoint struct {
 	Advantage        float64 `json:"advantage"`
 	ZeroRecvCopies   uint64  `json:"zerocopy_recv_copies"` // must be 0
 	ZeroViewReceives uint64  `json:"zerocopy_view_receives"`
+	// Per-plane arena lock acquisitions per message sent: the fixed
+	// cost the batched plane (loan_batch below) amortises.
+	CopyArenaLocksPerMsg float64 `json:"copy_arena_locks_per_msg"`
+	ZeroArenaLocksPerMsg float64 `json:"zerocopy_arena_locks_per_msg"`
 }
 
 // Summary measures the trajectory. quick shrinks every run to CI-smoke
 // size (same shapes, ~10x faster).
 func Summary(quick bool) (*JSONSummary, error) {
-	s := &JSONSummary{Schema: 1}
+	s := &JSONSummary{Schema: 2}
 
 	// Contention: the PR 1 headline configuration.
 	workers := 8
@@ -122,17 +145,45 @@ func Summary(quick bool) (*JSONSummary, error) {
 			return nil, fmt.Errorf("bench: summary copies: %w", err)
 		}
 		cp := CopiesPoint{
-			PayloadBytes:     pt.size,
-			FanOut:           pt.fan,
-			CopyMsgsPerSec:   base.MsgsPerSec,
-			ZeroMsgsPerSec:   zero.MsgsPerSec,
-			ZeroRecvCopies:   zero.Stats.PayloadCopiesOut,
-			ZeroViewReceives: zero.Stats.ViewReceives,
+			PayloadBytes:         pt.size,
+			FanOut:               pt.fan,
+			CopyMsgsPerSec:       base.MsgsPerSec,
+			ZeroMsgsPerSec:       zero.MsgsPerSec,
+			ZeroRecvCopies:       zero.Stats.PayloadCopiesOut,
+			ZeroViewReceives:     zero.Stats.ViewReceives,
+			CopyArenaLocksPerMsg: base.ArenaLocksPerMsg,
+			ZeroArenaLocksPerMsg: zero.ArenaLocksPerMsg,
 		}
 		if base.MsgsPerSec > 0 {
 			cp.Advantage = zero.MsgsPerSec / base.MsgsPerSec
 		}
 		s.Copies = append(s.Copies, cp)
+	}
+
+	// LoanBatch: the PR 4 headline configuration.
+	lbMsgs := 3000
+	if quick {
+		lbMsgs = 600
+	}
+	perMsg, err := NativeLoanBatch(false, LoanBatchPayload, LoanBatchSize, lbMsgs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: summary loanbatch: %w", err)
+	}
+	bat, err := NativeLoanBatch(true, LoanBatchPayload, LoanBatchSize, lbMsgs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: summary loanbatch: %w", err)
+	}
+	s.LoanBatch.Batch = LoanBatchSize
+	s.LoanBatch.PayloadBytes = LoanBatchPayload
+	s.LoanBatch.PerMessageMsgsPerSec = perMsg.MsgsPerSec
+	s.LoanBatch.BatchedMsgsPerSec = bat.MsgsPerSec
+	if perMsg.MsgsPerSec > 0 {
+		s.LoanBatch.Advantage = bat.MsgsPerSec / perMsg.MsgsPerSec
+	}
+	s.LoanBatch.PerMessageArenaLocksPerMsg = perMsg.ArenaLocksPerMsg
+	s.LoanBatch.BatchedArenaLocksPerMsg = bat.ArenaLocksPerMsg
+	if bat.ArenaLocksPerMsg > 0 {
+		s.LoanBatch.LockAmortisation = perMsg.ArenaLocksPerMsg / bat.ArenaLocksPerMsg
 	}
 	return s, nil
 }

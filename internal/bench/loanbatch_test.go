@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkLoanBatchAdvantage reports the batched and per-message
+// zero-copy planes at the headline configuration; the companion gate
+// (TestLoanBatchHarvestAdvantage) enforces the ratios, this benchmark
+// records the continuous trajectory.
+func BenchmarkLoanBatchAdvantage(b *testing.B) {
+	for _, batched := range []bool{false, true} {
+		name := "per-message"
+		if batched {
+			name = "batched"
+		}
+		b.Run(fmt.Sprintf("%s/%dB/batch%d", name, LoanBatchPayload, LoanBatchSize), func(b *testing.B) {
+			msgs := b.N
+			if msgs < 64 {
+				msgs = 64
+			}
+			res, err := NativeLoanBatch(batched, LoanBatchPayload, LoanBatchSize, msgs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(LoanBatchPayload))
+			b.ReportMetric(res.MsgsPerSec, "msgs/s")
+			b.ReportMetric(res.ArenaLocksPerMsg, "arena-locks/msg")
+		})
+	}
+}
+
+// TestLoanBatchHarvestAdvantage is the batched plane's gate, with two
+// teeth. Throughput: at batch 16 and 4 KiB payloads the batched
+// pipeline (LoanBatch/CommitAll + WaitViews/ReleaseViews) must deliver
+// at least 1.5x the per-message zero-copy plane — best of five
+// attempts, since throughput comparisons on shared CI boxes are noisy.
+// Amortisation: the batched plane must take at most 1/8 the arena
+// free-pool lock acquisitions per message (expected ~2/16 against ~2;
+// this is a lock count, not a timing, so it gets the best attempt too
+// but barely varies). Both planes must keep the copy ledger flat.
+func TestLoanBatchHarvestAdvantage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison skipped in -short mode")
+	}
+	const (
+		msgs           = 3000
+		wantThroughput = 1.5
+		wantLockRatio  = 1.0 / 8.0
+	)
+	bestRatio, bestLockRatio := 0.0, -1.0
+	for attempt := 0; attempt < 5; attempt++ {
+		per, err := NativeLoanBatch(false, LoanBatchPayload, LoanBatchSize, msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := NativeLoanBatch(true, LoanBatchPayload, LoanBatchSize, msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, st := range map[string]struct {
+			in, out uint64
+		}{
+			"per-message": {per.Stats.PayloadCopiesIn, per.Stats.PayloadCopiesOut},
+			"batched":     {bat.Stats.PayloadCopiesIn, bat.Stats.PayloadCopiesOut},
+		} {
+			if st.in != 0 || st.out != 0 {
+				t.Fatalf("%s plane leaked payload copies: in=%d out=%d", name, st.in, st.out)
+			}
+		}
+		if got := bat.Stats.LoanBatchSends; got != msgs {
+			t.Fatalf("LoanBatchSends = %d, want %d", got, msgs)
+		}
+		if got := bat.Stats.HarvestedViews; got != msgs {
+			t.Fatalf("HarvestedViews = %d, want %d", got, msgs)
+		}
+		ratio := bat.MsgsPerSec / per.MsgsPerSec
+		lockRatio := bat.ArenaLocksPerMsg / per.ArenaLocksPerMsg
+		t.Logf("attempt %d: per-message %.0f msgs/s @ %.2f locks/msg, batched %.0f msgs/s @ %.2f locks/msg (%.2fx throughput, %.3fx locks)",
+			attempt, per.MsgsPerSec, per.ArenaLocksPerMsg, bat.MsgsPerSec, bat.ArenaLocksPerMsg, ratio, lockRatio)
+		if ratio > bestRatio {
+			bestRatio = ratio
+		}
+		if bestLockRatio < 0 || lockRatio < bestLockRatio {
+			bestLockRatio = lockRatio
+		}
+		if bestRatio >= wantThroughput && bestLockRatio <= wantLockRatio {
+			break
+		}
+	}
+	if bestRatio < wantThroughput {
+		t.Errorf("batched plane is %.2fx the per-message plane, want >= %.1fx", bestRatio, wantThroughput)
+	}
+	if bestLockRatio > wantLockRatio {
+		t.Errorf("batched plane takes %.3fx the arena lock acquisitions per message, want <= %.3f",
+			bestLockRatio, wantLockRatio)
+	}
+}
+
+// TestLoanBatchSweepQuick exercises the ablation sweep end-to-end.
+func TestLoanBatchSweepQuick(t *testing.T) {
+	throughput, locks, err := LoanBatchSweep(Config{Mode: Native, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []struct {
+		name string
+		s    int
+	}{{"throughput", len(throughput.Series)}, {"locks", len(locks.Series)}} {
+		if fig.s != 2 {
+			t.Errorf("%s figure has %d series, want 2", fig.name, fig.s)
+		}
+	}
+	for _, s := range append(throughput.Series, locks.Series...) {
+		if len(s.Points) != 2 {
+			t.Errorf("series %q has %d points, want 2", s.Label, len(s.Points))
+		}
+	}
+}

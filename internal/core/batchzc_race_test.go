@@ -1,0 +1,375 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Race tests for the batched zero-copy plane, run in CI's -race
+// subset. TestHarvestViewsChurnRace races HarvestViews against
+// concurrent CloseReceive churn and an external Selector.Close while
+// producers commit LoanBatches: no view's payload may be corrupted (no
+// block recycled under a live pin), and nothing may leak once every
+// view is released. TestCommitAllReceiverChurnRace races CommitAll
+// against receiver close/reopen churn: every batch either commits
+// whole or reports the dead circuit with all blocks returned.
+
+func TestHarvestViewsChurnRace(t *testing.T) {
+	const (
+		circuits = 4
+		msgLen   = 64
+		perProd  = 300
+	)
+	f, err := Init(Config{
+		MaxLNVCs:         circuits + 2,
+		MaxProcesses:     circuits + 1,
+		BlocksPerProcess: 256,
+		SendPolicy:       FailFast, // churned-out receivers must not wedge senders
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumer := circuits // pid
+
+	// rids[i] is the consumer's current receive connection on circuit
+	// i, shared between the consumer (reopens) and the churner
+	// (closes).
+	var mu sync.Mutex
+	rids := make([]ID, circuits)
+	for i := 0; i < circuits; i++ {
+		rid, err := f.OpenReceive(consumer, fmt.Sprintf("hrace-%d", i), FCFS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	sel, err := f.NewSelector(consumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < circuits; i++ {
+		if err := sel.Add(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	prodDone := make(chan struct{})
+	// Producers: one per circuit, committing stamped LoanBatches. The
+	// stamp (circuit index at both payload ends) is what the consumer
+	// verifies under churn.
+	for i := 0; i < circuits; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sid, err := f.OpenSend(i, fmt.Sprintf("hrace-%d", i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ns := []int{msgLen, msgLen, msgLen}
+			sent := 0
+			for sent < perProd {
+				b, err := f.LoanBatch(i, sid, ns)
+				if errors.Is(err, ErrNoMemory) {
+					time.Sleep(100 * time.Microsecond) // retained backlog: let the consumer catch up
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := 0; j < len(ns); j++ {
+					if buf, ok := b.Bytes(j); ok {
+						buf[0], buf[msgLen-1] = byte(i), byte(i)
+					} else {
+						stamp := make([]byte, msgLen)
+						stamp[0], stamp[msgLen-1] = byte(i), byte(i)
+						b.Fill(j, stamp)
+					}
+				}
+				if err := b.CommitAll(); err != nil {
+					t.Errorf("producer %d: %v", i, err)
+					return
+				}
+				sent += len(ns)
+			}
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(prodDone)
+	}()
+
+	// Churner: closes the consumer's receive connections out from
+	// under the parked/harvesting selector. The consumer reopens them.
+	churnStop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		k := 0
+		for {
+			select {
+			case <-churnStop:
+				return
+			default:
+			}
+			i := k % circuits
+			k++
+			mu.Lock()
+			rid := rids[i]
+			mu.Unlock()
+			// ErrNotConnected means the consumer already reopened under
+			// a different id; both outcomes exercise the race.
+			if err := f.CloseReceive(consumer, rid); err != nil && !errors.Is(err, ErrNotConnected) && !errors.Is(err, ErrBadLNVC) {
+				t.Errorf("churn close: %v", err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Consumer: harvests, verifies every view in place, holds a
+	// handful across further rounds, and re-adds churned circuits.
+	var held []*View
+	verify := func(v *View) bool {
+		// Both payload ends carry the producer's stamp; a block
+		// recycled under the pin would show later traffic instead.
+		buf := make([]byte, msgLen)
+		if n := v.CopyTo(buf); n != msgLen {
+			t.Errorf("harvested view has %d bytes, want %d", n, msgLen)
+			return false
+		}
+		if buf[0] != buf[msgLen-1] || int(buf[0]) >= circuits {
+			t.Errorf("view corrupted: ends %d/%d", buf[0], buf[msgLen-1])
+			return false
+		}
+		return true
+	}
+	reconcile := func() {
+		for i := 0; i < circuits; i++ {
+			mu.Lock()
+			rid := rids[i]
+			mu.Unlock()
+			if sel.Has(rid) {
+				continue
+			}
+			nrid, err := f.OpenReceive(consumer, fmt.Sprintf("hrace-%d", i), FCFS)
+			if errors.Is(err, ErrAlreadyOpen) {
+				// Connection still open, registration gone (or about to
+				// be re-added under the same id): re-add below.
+				nrid = rid
+			} else if err != nil {
+				t.Errorf("reopen %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			rids[i] = nrid
+			mu.Unlock()
+			if err := sel.Add(nrid); err != nil && !errors.Is(err, ErrAlreadyOpen) && !errors.Is(err, ErrNotConnected) && !errors.Is(err, ErrSelectorClosed) {
+				t.Errorf("re-add %d: %v", i, err)
+				return
+			}
+		}
+	}
+	consumeDone := make(chan struct{})
+	go func() {
+		defer close(consumeDone)
+		for {
+			vs, err := sel.HarvestViewsDeadline(8, 2*time.Millisecond)
+			switch {
+			case err == nil:
+				for _, v := range vs {
+					if !verify(v) {
+						return
+					}
+				}
+				// Hold a few views across subsequent rounds (and across
+				// the churner's closes), release the rest in a batch.
+				if len(held) < 8 {
+					held = append(held, vs[0])
+					ReleaseViews(vs[1:])
+				} else {
+					ReleaseViews(vs)
+				}
+			case errors.Is(err, ErrNotConnected):
+				reconcile()
+			case errors.Is(err, ErrTimeout):
+				select {
+				case <-prodDone:
+					// Producers finished and a full timeout found
+					// nothing: stop. (Retained messages on churned-out
+					// circuits are discarded with the circuits below.)
+					return
+				default:
+					reconcile()
+				}
+			case errors.Is(err, ErrSelectorClosed), errors.Is(err, ErrShutdown):
+				return
+			case errors.Is(err, ErrBadLNVC):
+				// Every registration churned away at once.
+				reconcile()
+			default:
+				t.Errorf("harvest: %v", err)
+				return
+			}
+		}
+	}()
+
+	<-prodDone
+	<-consumeDone
+	close(churnStop)
+	churnWG.Wait()
+	// Close the selector (the concurrent-close path a live consumer
+	// would hit) and tear every connection down under the held views.
+	sel.Close()
+	for i := 0; i < circuits; i++ {
+		mu.Lock()
+		rid := rids[i]
+		mu.Unlock()
+		if err := f.CloseReceive(consumer, rid); err != nil && !errors.Is(err, ErrNotConnected) && !errors.Is(err, ErrBadLNVC) {
+			t.Error(err)
+		}
+	}
+	for i := 0; i < circuits; i++ {
+		if id, ok := f.LNVCByName(fmt.Sprintf("hrace-%d", i)); ok {
+			if err := f.CloseSend(i, id); err != nil && !errors.Is(err, ErrNotConnected) && !errors.Is(err, ErrBadLNVC) {
+				t.Error(err)
+			}
+		}
+	}
+	// Held views must still read intact — their blocks were orphaned to
+	// us, never recycled — and releasing them must return every block.
+	for _, v := range held {
+		verify(v)
+	}
+	ReleaseViews(held)
+	if free, total := f.Arena().FreeBlocks(), f.Arena().NumBlocks(); free != total {
+		t.Errorf("block leak: %d of %d free", free, total)
+	}
+	if err := f.Arena().CheckFreeList(); err != nil {
+		t.Errorf("arena free list corrupt: %v", err)
+	}
+	f.Shutdown()
+}
+
+func TestCommitAllReceiverChurnRace(t *testing.T) {
+	const (
+		rounds = 400
+		batch  = 4
+	)
+	f, err := Init(Config{
+		MaxLNVCs:         4,
+		MaxProcesses:     3,
+		BlocksPerProcess: 128,
+		SendPolicy:       FailFast,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const name = "commitchurn"
+	sid, err := f.OpenSend(0, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Receiver churn: open, drain a little through views, close —
+	// racing the sender's CommitAll window (batch acquired before the
+	// churn, committed after).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 32)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rid, err := f.OpenReceive(1, name, FCFS)
+			if err != nil {
+				if errors.Is(err, ErrShutdown) {
+					return
+				}
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 8; j++ {
+				if _, ok, err := f.TryReceive(1, rid, buf); err != nil || !ok {
+					break
+				}
+			}
+			if err := f.CloseReceive(1, rid); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	committed := 0
+	for r := 0; r < rounds; r++ {
+		b, err := f.LoanBatch(0, sid, []int{24, 24, 24, 24})
+		if errors.Is(err, ErrNoMemory) {
+			// Retained backlog from a closed receiver filled the pool;
+			// drain it by cycling our own receiver.
+			rid, err := f.OpenReceive(0, name, FCFS)
+			if err == nil {
+				buf := make([]byte, 32)
+				for {
+					if _, ok, _ := f.TryReceive(0, rid, buf); !ok {
+						break
+					}
+				}
+				f.CloseReceive(0, rid)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < batch; j++ {
+			if buf, ok := b.Bytes(j); ok {
+				buf[0] = byte(r)
+			}
+		}
+		// Commit races the churner's close/reopen; the circuit itself
+		// stays alive (our send connection), so only success is legal.
+		if err := b.CommitAll(); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		committed += batch
+	}
+	close(stop)
+	wg.Wait()
+
+	// Drain what's left, then delete the circuit and check for leaks.
+	rid, err := f.OpenReceive(0, name, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	for {
+		if _, ok, err := f.TryReceive(0, rid, buf); err != nil || !ok {
+			break
+		}
+	}
+	if err := f.CloseReceive(0, rid); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CloseSend(0, sid); err != nil {
+		t.Fatal(err)
+	}
+	if free, total := f.Arena().FreeBlocks(), f.Arena().NumBlocks(); free != total {
+		t.Errorf("block leak after %d committed messages: %d of %d free", committed, free, total)
+	}
+	if err := f.Arena().CheckFreeList(); err != nil {
+		t.Errorf("arena free list corrupt: %v", err)
+	}
+	f.Shutdown()
+}

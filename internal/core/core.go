@@ -234,6 +234,16 @@ type Stats struct {
 	PayloadCopiesOut uint64
 	LoanSends        uint64
 	ViewReceives     uint64
+	// The batched zero-copy plane's ledger. LoanBatchSends counts
+	// messages committed through LoanBatch (one arena transaction and
+	// one circuit lock acquisition per batch); HarvestedViews counts
+	// messages claimed as pinned views inside a Selector wait round
+	// (HarvestViews) — one circuit lock acquisition per ready circuit,
+	// not per message. Both planes are zero-copy; neither is included
+	// in LoanSends/ViewReceives, so the per-message and batched planes
+	// stay separately observable (mpfbench -loanbatch compares them).
+	LoanBatchSends uint64
+	HarvestedViews uint64
 }
 
 type statsCell struct {
@@ -253,6 +263,8 @@ type statsCell struct {
 	payloadCopiesOut      atomic.Uint64
 	loanSends             atomic.Uint64
 	viewReceives          atomic.Uint64
+	loanBatchSends        atomic.Uint64
+	harvestedViews        atomic.Uint64
 }
 
 func (s *statsCell) snapshot() Stats {
@@ -272,6 +284,8 @@ func (s *statsCell) snapshot() Stats {
 		PayloadCopiesOut: s.payloadCopiesOut.Load(),
 		LoanSends:        s.loanSends.Load(),
 		ViewReceives:     s.viewReceives.Load(),
+		LoanBatchSends:   s.loanBatchSends.Load(),
+		HarvestedViews:   s.harvestedViews.Load(),
 	}
 }
 

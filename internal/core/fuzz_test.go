@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"testing"
+	"time"
 )
 
 // FuzzProtocolInvariants drives random interleavings of FCFS and
@@ -24,20 +25,28 @@ import (
 //   - once everything is consumed and every view released, the queue
 //     has been reclaimed and no arena block has leaked.
 //
-// The script is one op per input byte (low 3 bits select the op, the
+// The script is one op per input byte (low 4 bits select the op, the
 // high bit flips the copy/zero-copy plane): pid 0 sends (Send, or
 // SendLoan+Commit with the high bit); pids 1-2 hold FCFS connections
 // (pid 2 churns close/reopen); pids 3-4 hold BROADCAST connections
 // (TryReceive, or TryReceiveView+Release with the high bit); op 6
 // takes a view on pid 3 and *holds* it across subsequent ops; op 7
-// releases the oldest held view, re-verifying its payload first.
-// FailFast keeps pool exhaustion from blocking the fuzzer — a refused
-// send is simply not recorded.
+// releases the oldest held view, re-verifying its payload first. The
+// batched plane adds: op 8 commits a LoanBatch of three whole
+// (CommitAll); op 9 commits a one-message prefix of a batch of three,
+// aborting the tail (CommitN — the partial abort); op 10 aborts a
+// batch of two outright (AbortAll); op 11 harvests up to two pinned
+// views through pid 3's Selector (HarvestViews inside the wait round)
+// and *holds* them like op 6's, so harvested views ride across
+// receiver churn and close too. FailFast keeps pool exhaustion from
+// blocking the fuzzer — a refused send is simply not recorded.
 func FuzzProtocolInvariants(f *testing.F) {
 	// Seed corpus: a quiet round-trip, a saturating burst then drain,
-	// receiver churn around a burst, interleaved chatter, and the
-	// zero-copy plane: loan sends, view receives, held views across
-	// churn and bursts.
+	// receiver churn around a burst, interleaved chatter, the
+	// zero-copy plane (loan sends, view receives, held views across
+	// churn and bursts), and the batched plane (CommitAll bursts,
+	// partial commits and aborts interleaved with churn, harvested
+	// views held across closes).
 	f.Add([]byte{0, 1, 0, 3, 0, 4, 2, 0})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 3, 3, 3, 3, 4, 4, 4, 4})
 	f.Add([]byte{5, 0, 0, 5, 2, 0, 5, 1, 2, 5, 0, 2})
@@ -45,6 +54,9 @@ func FuzzProtocolInvariants(f *testing.F) {
 	f.Add([]byte{0x80, 0x83, 0x81, 0x80, 0x84, 0x82, 0x80, 0x83})
 	f.Add([]byte{0, 6, 0, 6, 5, 0, 1, 7, 2, 7, 0x80, 6, 1, 7})
 	f.Add([]byte{0x80, 6, 0x80, 6, 0x80, 6, 0x80, 6, 7, 7, 7, 7, 1, 1, 1, 1, 4, 4, 4, 4})
+	f.Add([]byte{8, 11, 1, 1, 3, 3, 4, 4, 4, 1, 7, 7})
+	f.Add([]byte{9, 10, 8, 5, 11, 2, 9, 5, 11, 7, 7, 1, 1, 1, 1})
+	f.Add([]byte{8, 8, 11, 11, 11, 5, 7, 2, 7, 7, 10, 9, 1, 1, 1, 1, 1, 1, 1, 1})
 
 	f.Fuzz(func(t *testing.T, script []byte) {
 		if len(script) > 4096 {
@@ -81,6 +93,17 @@ func FuzzProtocolInvariants(f *testing.F) {
 		}
 		bc4, err := fac.OpenReceive(4, name, Broadcast)
 		if err != nil {
+			t.Fatal(err)
+		}
+		// pid 3 also drains through a Selector (op 11): harvested views
+		// interleave with its copying receives, plain view receives and
+		// held views on the same BROADCAST head.
+		sel, err := fac.NewSelector(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sel.Close()
+		if err := sel.Add(bc3); err != nil {
 			t.Fatal(err)
 		}
 
@@ -221,10 +244,76 @@ func FuzzProtocolInvariants(f *testing.F) {
 			bcNext[3]++
 			held = append(held, heldView{v: v, stamp: stamp})
 		}
+		// batchSend acquires a LoanBatch of k stamped loans and commits
+		// the first `commit` of them, aborting the rest — the partial
+		// abort when commit < k, a pure AbortAll when commit == -1.
+		batchSend := func(k, commit int) {
+			ns := make([]int, k)
+			for j := range ns {
+				ns[j] = 8
+			}
+			lb, err := fac.LoanBatch(0, sid, ns)
+			if errors.Is(err, ErrNoMemory) {
+				return // pool full: drop the batch, receivers catch up
+			}
+			if err != nil {
+				t.Fatalf("loan batch: %v", err)
+			}
+			payload := make([]byte, 8)
+			for j := 0; j < k; j++ {
+				binary.BigEndian.PutUint64(payload, nextSeq+uint64(j))
+				if n := lb.Fill(j, payload); n != 8 {
+					t.Fatalf("batch fill wrote %d bytes", n)
+				}
+			}
+			if commit < 0 {
+				lb.AbortAll()
+				return
+			}
+			if commit == k {
+				err = lb.CommitAll()
+			} else {
+				err = lb.CommitN(commit)
+			}
+			if err != nil {
+				t.Fatalf("batch commit %d of %d: %v", commit, k, err)
+			}
+			// Aborted tail stamps are reused by the next send, so the
+			// observed stream stays gap-free.
+			nextSeq += uint64(commit)
+			sent += uint64(commit)
+		}
+		// harvestViews drains up to two messages through pid 3's
+		// Selector into held views. The guard keeps it non-blocking: a
+		// BROADCAST receiver with bcNext < sent always has a
+		// deliverable message, so the wait round returns immediately.
+		harvestViews := func() {
+			if bcNext[3] >= sent {
+				return
+			}
+			for len(held) > 6 {
+				releaseOldest()
+			}
+			vs, err := sel.HarvestViewsDeadline(2, 10*time.Second)
+			if err != nil {
+				t.Fatalf("harvest: %v", err)
+			}
+			for _, v := range vs {
+				if v.Len() != 8 {
+					t.Fatalf("harvested a %d-byte view", v.Len())
+				}
+				stamp := stampOf(v)
+				if stamp != bcNext[3] {
+					t.Fatalf("harvest saw %d, want %d (gap or reorder)", stamp, bcNext[3])
+				}
+				bcNext[3]++
+				held = append(held, heldView{v: v, stamp: stamp})
+			}
+		}
 
 		for _, op := range script {
 			viaZC := op&0x80 != 0
-			switch int(op&0x7f) % 8 {
+			switch int(op&0x7f) % 16 {
 			case 0:
 				doSend(viaZC)
 			case 1:
@@ -256,6 +345,17 @@ func FuzzProtocolInvariants(f *testing.F) {
 				holdView()
 			case 7:
 				releaseOldest()
+			case 8:
+				batchSend(3, 3) // CommitAll
+			case 9:
+				batchSend(3, 1) // partial: commit 1, abort 2
+			case 10:
+				batchSend(2, -1) // AbortAll
+			case 11:
+				harvestViews()
+			default:
+				// 12-15 reserved; treated as no-ops so future ops can
+				// claim them without invalidating today's corpus.
 			}
 		}
 

@@ -350,9 +350,7 @@ func (f *Facility) close(pid int, id ID, detach func(*lnvc) error) error {
 	if f.cfg.GlobalPulseMux {
 		f.pulseActivity()
 	}
-	for _, m := range drop {
-		f.pool.Release(m)
-	}
+	f.pool.ReleaseBatch(drop)
 	return nil
 }
 
@@ -595,9 +593,7 @@ func (f *Facility) unpinAll(l *lnvc, ms []*msg.Message) {
 		f.reclaimLocked(l)
 	}
 	l.lock.Unlock()
-	for _, m := range orphans {
-		f.pool.Release(m)
-	}
+	f.pool.ReleaseBatch(orphans)
 }
 
 // availableLocked returns the next message deliverable to d, or nil.
@@ -733,9 +729,16 @@ func (f *Facility) reclaimLocked(l *lnvc) {
 	}
 	// Release blocks outside the queue walk; still under the LNVC lock,
 	// but the arena has its own lock so this is safe (arena lock is a
-	// leaf in the lock order).
-	for _, v := range victims {
-		f.pool.Release(v.m)
+	// leaf in the lock order). The whole scan's victims go back in one
+	// free-pool transaction — a batched receive's reclaim costs one
+	// arena lock acquisition however many messages it retired.
+	if len(victims) > 0 {
+		var msgsBuf [16]*msg.Message
+		ms := msgsBuf[:0]
+		for _, v := range victims {
+			ms = append(ms, v.m)
+		}
+		f.pool.ReleaseBatch(ms)
 	}
 }
 

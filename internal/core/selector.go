@@ -49,6 +49,13 @@ type Selector struct {
 	ready   []ID // circuits fired since the last harvest, deduplicated
 	inReady map[ID]bool
 	closed  bool
+
+	// deadErr is a circuit death observed by a HarvestViews round that
+	// had already claimed views: the views were returned first and the
+	// error is surfaced by the next wait or harvest call (the dead
+	// registration is already dropped). Owner-goroutine state, like a
+	// wait round itself — never touched by Close.
+	deadErr error
 }
 
 // selReg pins a registration to one incarnation of one descriptor: l
@@ -210,6 +217,20 @@ func (s *Selector) Has(id ID) bool {
 	return ok
 }
 
+// Circuits returns the currently registered circuit ids, snapshotted
+// under a single lock hold — the bulk form of Has, so a caller
+// reconciling its own table (mpf.Selector's prune) does one pass
+// instead of re-locking once per circuit.
+func (s *Selector) Circuits() []ID {
+	s.mu.Lock()
+	out := make([]ID, 0, len(s.regs))
+	for id := range s.regs {
+		out = append(out, id)
+	}
+	s.mu.Unlock()
+	return out
+}
+
 // Len returns the number of registered circuits.
 func (s *Selector) Len() int {
 	s.mu.Lock()
@@ -266,7 +287,46 @@ type firedReg struct {
 	selReg
 }
 
+// collectFired drains the deduplicated ready list into fired (reused
+// across rounds), returning the registrations to inspect this round.
+// It fails on a closed or empty selector.
+func (s *Selector) collectFired(fired []firedReg) ([]firedReg, error) {
+	fired = fired[:0]
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSelectorClosed
+	}
+	if len(s.regs) == 0 {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: Wait on a selector with no circuits", ErrBadLNVC)
+	}
+	for _, id := range s.ready {
+		if !s.inReady[id] {
+			continue // removed since it fired
+		}
+		delete(s.inReady, id)
+		if reg, ok := s.regs[id]; ok {
+			fired = append(fired, firedReg{id, reg})
+		}
+	}
+	s.ready = s.ready[:0]
+	s.mu.Unlock()
+	return fired, nil
+}
+
+// takeDeadErr surfaces a circuit death a previous harvest round
+// deferred (views first, error next call).
+func (s *Selector) takeDeadErr() error {
+	err := s.deadErr
+	s.deadErr = nil
+	return err
+}
+
 func (s *Selector) wait(deadline *time.Time) ([]ID, error) {
+	if err := s.takeDeadErr(); err != nil {
+		return nil, err
+	}
 	f := s.f
 	woken := false
 	var fired []firedReg // reused across rounds
@@ -276,27 +336,11 @@ func (s *Selector) wait(deadline *time.Time) ([]ID, error) {
 		}
 		// Harvest the circuits that fired since the last round. Only
 		// these are inspected: O(ready) per wakeup.
-		fired = fired[:0]
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			return nil, ErrSelectorClosed
+		var err error
+		fired, err = s.collectFired(fired)
+		if err != nil {
+			return nil, err
 		}
-		if len(s.regs) == 0 {
-			s.mu.Unlock()
-			return nil, fmt.Errorf("%w: Wait on a selector with no circuits", ErrBadLNVC)
-		}
-		for _, id := range s.ready {
-			if !s.inReady[id] {
-				continue // removed since it fired
-			}
-			delete(s.inReady, id)
-			if reg, ok := s.regs[id]; ok {
-				fired = append(fired, firedReg{id, reg})
-			}
-		}
-		s.ready = s.ready[:0]
-		s.mu.Unlock()
 
 		var out []ID
 		var dead error
@@ -377,4 +421,140 @@ func (s *Selector) dropReg(id ID, reg selReg) {
 	}
 	s.mu.Unlock()
 	s.unregister(reg)
+}
+
+// HarvestViews blocks like Wait, but instead of reporting ready
+// circuit ids it drains them into pinned zero-copy Views inside the
+// same round: each ready circuit is locked once and up to the
+// remaining budget of deliverable messages is claimed under that one
+// hold — where the Wait + TryReceiveView idiom re-resolves the
+// registry and re-locks the circuit once per message. max bounds the
+// views claimed per call (at least 1 is returned when any circuit has
+// traffic); views arrive grouped by circuit, in each circuit's FIFO
+// order, with Circuit() attributing each. The claims are exactly
+// TryReceiveView's — FCFS claims are atomic, so sibling receivers
+// cannot double-consume, and every view holds a pin until Release (or
+// a batched ReleaseViews, which undoes a harvest's pins with one lock
+// acquisition per circuit).
+//
+// A circuit left with traffic by the budget stays armed and is
+// harvested by the next call — the same level-trigger Wait gives
+// partially drained circuits. Error behaviour matches Wait:
+// ErrNotConnected when a registered circuit died while parked (any
+// views already claimed that round are returned first — the error
+// surfaces on the next call), ErrShutdown, ErrSelectorClosed,
+// ErrTimeout from the deadline variant.
+func (s *Selector) HarvestViews(max int) ([]*View, error) {
+	vs, err := s.harvestViews(max, nil)
+	s.traceHarvest(vs, err)
+	return vs, err
+}
+
+// HarvestViewsDeadline is HarvestViews bounded by d; it returns
+// ErrTimeout if no circuit delivers in time.
+func (s *Selector) HarvestViewsDeadline(max int, d time.Duration) ([]*View, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("%w: non-positive deadline %v", ErrTimeout, d)
+	}
+	deadline := time.Now().Add(d)
+	vs, err := s.harvestViews(max, &deadline)
+	s.traceHarvest(vs, err)
+	return vs, err
+}
+
+func (s *Selector) traceHarvest(vs []*View, err error) {
+	total := 0
+	for _, v := range vs {
+		total += v.Len()
+	}
+	s.f.trace(Event{Op: OpHarvestViews, PID: s.pid, Bytes: total, Err: err})
+}
+
+func (s *Selector) harvestViews(max int, deadline *time.Time) ([]*View, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("mpf: HarvestViews with budget %d", max)
+	}
+	if err := s.takeDeadErr(); err != nil {
+		return nil, err
+	}
+	f := s.f
+	woken := false
+	var fired []firedReg // reused across rounds
+	for {
+		if f.stopped.Load() {
+			return nil, ErrShutdown
+		}
+		var err error
+		fired, err = s.collectFired(fired)
+		if err != nil {
+			return nil, err
+		}
+
+		var out []*View
+		var remark []ID
+		var dead error
+		total := 0
+		for _, fr := range fired {
+			if len(out) >= max {
+				// Budget exhausted before this circuit was even looked
+				// at: keep it armed, untouched, for the next call.
+				remark = append(remark, fr.id)
+				continue
+			}
+			fr.l.lock.Lock()
+			d := fr.l.recvs[s.pid]
+			connected := f.slots[fr.id].Load() == fr.l && fr.l.gen == fr.gen && d != nil
+			if !connected {
+				fr.l.lock.Unlock()
+				s.dropReg(fr.id, fr.selReg)
+				dead = fmt.Errorf("%w: circuit %d closed while in selector", ErrNotConnected, fr.id)
+				continue
+			}
+			// Claim everything deliverable (up to the budget) under
+			// this one lock hold — the whole point of the harvest.
+			for len(out) < max {
+				m := fr.l.availableLocked(d)
+				if m == nil {
+					break
+				}
+				fr.l.claimLocked(d, m)
+				out = append(out, &View{f: f, l: fr.l, m: m, id: fr.id})
+				total += m.Length
+			}
+			more := fr.l.availableLocked(d) != nil
+			fr.l.lock.Unlock()
+			if more {
+				// Budget-limited with traffic left: stays armed.
+				remark = append(remark, fr.id)
+			}
+		}
+		if woken {
+			f.stats.muxWakeups.Add(1)
+			if len(out) == 0 && dead == nil {
+				f.stats.muxSpurious.Add(1)
+			}
+			woken = false
+		}
+		s.remarkReady(remark)
+		if len(out) > 0 {
+			f.stats.receives.Add(uint64(len(out)))
+			f.stats.bytesRecvd.Add(uint64(total))
+			f.stats.harvestedViews.Add(uint64(len(out)))
+			// A circuit death observed this round is deferred, not
+			// dropped: claimed views are never discarded, so the error
+			// is stashed for the next wait/harvest call to return (the
+			// registration is already gone — nothing would re-fire it).
+			s.deadErr = dead
+			return out, nil
+		}
+		if dead != nil {
+			return nil, dead
+		}
+
+		ok, err := parkWait(s.notify, f.stop, deadline)
+		if err != nil {
+			return nil, err
+		}
+		woken = ok
+	}
 }

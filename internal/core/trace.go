@@ -19,23 +19,29 @@ const (
 	OpLoanCommit
 	OpReceiveView
 	OpTryReceiveView
+	OpLoanBatch
+	OpLoanBatchCommit
+	OpHarvestViews
 )
 
 var opNames = [...]string{
-	OpOpenSend:       "open_send",
-	OpOpenReceive:    "open_receive",
-	OpCloseSend:      "close_send",
-	OpCloseReceive:   "close_receive",
-	OpSend:           "message_send",
-	OpReceive:        "message_receive",
-	OpCheckReceive:   "check_receive",
-	OpTryReceive:     "try_receive",
-	OpSendBatch:      "message_send_batch",
-	OpReceiveBatch:   "message_receive_batch",
-	OpSendLoan:       "loan_acquire",
-	OpLoanCommit:     "message_send_loan",
-	OpReceiveView:    "message_receive_view",
-	OpTryReceiveView: "try_receive_view",
+	OpOpenSend:        "open_send",
+	OpOpenReceive:     "open_receive",
+	OpCloseSend:       "close_send",
+	OpCloseReceive:    "close_receive",
+	OpSend:            "message_send",
+	OpReceive:         "message_receive",
+	OpCheckReceive:    "check_receive",
+	OpTryReceive:      "try_receive",
+	OpSendBatch:       "message_send_batch",
+	OpReceiveBatch:    "message_receive_batch",
+	OpSendLoan:        "loan_acquire",
+	OpLoanCommit:      "message_send_loan",
+	OpReceiveView:     "message_receive_view",
+	OpTryReceiveView:  "try_receive_view",
+	OpLoanBatch:       "loan_batch_acquire",
+	OpLoanBatchCommit: "message_send_loan_batch",
+	OpHarvestViews:    "harvest_views",
 }
 
 // String returns the paper's name for the primitive.

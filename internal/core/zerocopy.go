@@ -114,10 +114,12 @@ func (ln *Loan) Bytes() ([]byte, bool) { return ln.View().Contiguous() }
 // returning false stops the walk.
 func (ln *Loan) Segments(yield func(seg []byte) bool) { ln.View().Segments(yield) }
 
-// CopyFrom fills the loan from buf — the escape hatch back to the
-// copying plane for callers that already hold the payload in a private
-// buffer (mpf.Writer and TypedSender do), counted as a send-side copy
-// in Stats. It returns the number of bytes copied.
+// CopyFrom fills the loan from buf, counted as a send-side copy in
+// Stats — the explicit escape hatch back to the copying plane's
+// accounting. Callers treating the fill as production (the bytes enter
+// the region exactly once; mpf.Writer, TypedSender and
+// LoanBatch.Fill) write through View().CopyFrom instead, which the
+// ledger does not count. It returns the number of bytes copied.
 func (ln *Loan) CopyFrom(buf []byte) int {
 	n := ln.View().CopyFrom(buf)
 	ln.f.stats.payloadCopiesIn.Add(1)
@@ -196,6 +198,7 @@ type View struct {
 	f        *Facility
 	l        *lnvc
 	m        *msg.Message
+	id       ID // circuit the view was claimed from, for multiplexers
 	released bool
 }
 
@@ -228,7 +231,7 @@ func (f *Facility) receiveView(pid int, id ID, deadline *time.Time) (*View, erro
 	f.stats.receives.Add(1)
 	f.stats.bytesRecvd.Add(uint64(m.Length))
 	f.stats.viewReceives.Add(1)
-	return &View{f: f, l: l, m: m}, nil
+	return &View{f: f, l: l, m: m, id: id}, nil
 }
 
 // TryReceiveView is ReceiveView's non-blocking form: if a message is
@@ -246,7 +249,7 @@ func (f *Facility) TryReceiveView(pid int, id ID) (*View, bool, error) {
 	f.stats.viewReceives.Add(1)
 	ev.Bytes = m.Length
 	f.trace(ev)
-	return &View{f: f, l: l, m: m}, true, nil
+	return &View{f: f, l: l, m: m, id: id}, true, nil
 }
 
 func viewBytes(v *View) int {
@@ -261,6 +264,11 @@ func (v *View) Len() int { return v.m.Length }
 
 // Sender returns the process id that sent the message.
 func (v *View) Sender() int { return v.m.Sender }
+
+// Circuit returns the id of the circuit the view was claimed from —
+// how an event loop draining several circuits through
+// Selector.HarvestViews attributes each view without a side table.
+func (v *View) Circuit() ID { return v.id }
 
 // Bytes returns the whole payload as one read-only slice when it
 // occupies a single segment — the common case under span allocation —
@@ -309,4 +317,35 @@ func (v *View) Release() {
 	}
 	v.released = true
 	v.f.unpin(v.l, v.m)
+}
+
+// ReleaseViews releases every view in vs under batched unpinning: one
+// circuit lock acquisition, one reclaim scan and one arena free-pool
+// transaction per consecutive run of views from the same circuit —
+// which is how HarvestViews orders its results, so releasing a harvest
+// costs O(ready circuits) lock traffic, not O(views). Already-released
+// views are skipped (Release's idempotence, batch form); nil entries
+// are tolerated.
+func ReleaseViews(vs []*View) {
+	var run []*msg.Message // reused batch for the current circuit run
+	var l *lnvc
+	var f *Facility
+	flush := func() {
+		if len(run) > 0 {
+			f.unpinAll(l, run)
+			run = run[:0]
+		}
+	}
+	for _, v := range vs {
+		if v == nil || v.released {
+			continue
+		}
+		v.released = true
+		if v.l != l {
+			flush()
+			l, f = v.l, v.f
+		}
+		run = append(run, v.m)
+	}
+	flush()
 }

@@ -377,8 +377,51 @@ func (r *Ring) Reserve(n int) ([]byte, bool, error) {
 	return r.buf[off+recHeader : off+recHeader+uint64(n)], true, nil
 }
 
-// CommitReserve publishes the record returned by the last Reserve,
-// making it visible to the consumer with a single cursor store.
+// ReserveBatch carves up to len(ns) records out of the ring in one
+// reservation — the zero-copy counterpart of TrySendBatch. It returns
+// writable payload slices for the prefix of ns that currently fits
+// (possibly none: a nil slice with a nil error means the ring lacks
+// space right now); the producer writes the payloads in place and one
+// CommitReserve publishes the whole batch with a single cursor store
+// and a single wakeup, or one AbortReserve discards it all. A length
+// that can never fit (greater than Cap()-8) stops the batch: the
+// reserved prefix before it is still returned, alongside ErrTooBig.
+// The reservation rules are Reserve's: at most one outstanding, no
+// interleaved sends, producer-side only.
+func (r *Ring) ReserveBatch(ns []int) ([][]byte, error) {
+	if r.resActive {
+		panic("fastpath: ReserveBatch with a reservation outstanding")
+	}
+	if r.closed.Load() {
+		return nil, ErrClosed
+	}
+	head := r.head.Load()
+	tail := r.tail.Load()
+	var out [][]byte
+	var err error
+	for _, n := range ns {
+		if n < 0 || uint64(recHeader+n) > uint64(len(r.buf))-recHeader {
+			err = ErrTooBig
+			break
+		}
+		off, newTail, ok := r.place(tail, head, n)
+		if !ok {
+			break
+		}
+		out = append(out, r.buf[off+recHeader:off+recHeader+uint64(n)])
+		tail = newTail
+	}
+	if len(out) == 0 {
+		return nil, err
+	}
+	r.resActive = true
+	r.resTail = tail
+	return out, err
+}
+
+// CommitReserve publishes the records of the last Reserve or
+// ReserveBatch, making them visible to the consumer with a single
+// cursor store.
 func (r *Ring) CommitReserve() {
 	if !r.resActive {
 		panic("fastpath: CommitReserve without a reservation")
@@ -388,9 +431,9 @@ func (r *Ring) CommitReserve() {
 	r.notifyPublish()
 }
 
-// AbortReserve discards the outstanding reservation. The cursor never
-// moved, so the record (and any skip marker written for it) is simply
-// overwritten by the next send.
+// AbortReserve discards the outstanding reservation (single or batch).
+// The cursor never moved, so the records (and any skip marker written
+// for them) are simply overwritten by the next send.
 func (r *Ring) AbortReserve() {
 	if !r.resActive {
 		panic("fastpath: AbortReserve without a reservation")
@@ -441,6 +484,74 @@ func (r *Ring) Peek() ([]byte, bool, error) {
 func (r *Ring) Consume() {
 	if !r.peekActive {
 		panic("fastpath: Consume without a Peek")
+	}
+	r.peekActive = false
+	r.head.Store(r.peekNext)
+}
+
+// PeekBatch returns up to max records' payloads in place, without
+// consuming any — the zero-copy counterpart of TryRecvBatch: the
+// consumer reads the ring's memory directly and one ConsumeBatch
+// retires the whole run with a single cursor publish. It returns nil
+// when the ring is empty; after Close it drains remaining records and
+// then returns ErrClosed. The slices are valid until ConsumeBatch; at
+// most one peek (single or batch) may be outstanding. Consumer-side
+// only, like all receives.
+func (r *Ring) PeekBatch(max int) ([][]byte, error) {
+	if r.peekActive {
+		panic("fastpath: PeekBatch with a peek outstanding")
+	}
+	if max <= 0 {
+		return nil, nil
+	}
+	capacity := uint64(len(r.buf))
+	for {
+		head := r.head.Load()
+		tail := r.tail.Load()
+		cur := head
+		var out [][]byte
+		for len(out) < max {
+			if cur == tail {
+				tail = r.tail.Load() // refresh: more may have arrived
+				if cur == tail {
+					break
+				}
+			}
+			off := cur & r.mask
+			hdr := le32(r.buf[off:])
+			if hdr == skipMarker || capacity-off < recHeader {
+				// A skip marker is only published together with the
+				// record that follows it at offset 0, so jumping it
+				// never runs past the tail.
+				cur += capacity - off
+				continue
+			}
+			out = append(out, r.buf[off+recHeader:off+recHeader+uint64(hdr)])
+			cur += pad4(uint64(recHeader) + uint64(hdr))
+		}
+		if len(out) == 0 {
+			if r.closed.Load() {
+				// Re-check emptiness after observing closed, so a send
+				// that completed before Close is not lost.
+				if r.head.Load() == r.tail.Load() {
+					return nil, ErrClosed
+				}
+				continue
+			}
+			return nil, nil
+		}
+		r.peekActive = true
+		r.peekNext = cur
+		return out, nil
+	}
+}
+
+// ConsumeBatch retires every record returned by the last PeekBatch,
+// publishing the consumer cursor past the run in one store. The peeked
+// slices are invalid afterwards.
+func (r *Ring) ConsumeBatch() {
+	if !r.peekActive {
+		panic("fastpath: ConsumeBatch without a PeekBatch")
 	}
 	r.peekActive = false
 	r.head.Store(r.peekNext)

@@ -116,6 +116,32 @@ func (p *Pool) BuildLoan(sender, n int, wait bool, stop <-chan struct{}) (*Messa
 	return m, nil
 }
 
+// BuildLoanBatch is BuildLoan's batch form: one message header per
+// length in ns, every payload chain allocated in a single arena
+// transaction (Arena.AllocPayloads) with all payloads uninitialised —
+// the allocator half of the batched zero-copy send path (core's
+// LoanBatch). Either every message is built or none is; wait and stop
+// have Build's semantics, applied to the batch's total block demand.
+func (p *Pool) BuildLoanBatch(sender int, ns []int, wait bool, stop <-chan struct{}) ([]*Message, error) {
+	if len(ns) == 0 {
+		return nil, nil
+	}
+	heads, tails, err := p.arena.AllocPayloads(ns, wait, stop)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make([]*Message, len(ns))
+	for i, n := range ns {
+		m := p.get()
+		m.Length = n
+		m.Head = heads[i]
+		m.Tail = tails[i]
+		m.Sender = sender
+		msgs[i] = m
+	}
+	return msgs, nil
+}
+
 // View returns a zero-copy window onto m's payload. Validity follows
 // block ownership: the caller must hold the message pinned (receive
 // views) or own its unsent chain (loans).
@@ -171,6 +197,27 @@ func (p *Pool) Release(m *Message) {
 		p.arena.FreeChain(m.Head)
 	}
 	p.put(m)
+}
+
+// ReleaseBatch returns a whole batch of messages' blocks to the arena
+// in one free-pool transaction (Arena.FreeChains) and their headers to
+// the pool — Release amortised the same way BuildLoanBatch amortises
+// Build. The caller must guarantee no receiver still needs any of them.
+func (p *Pool) ReleaseBatch(ms []*Message) {
+	if len(ms) == 0 {
+		return
+	}
+	var headsBuf [16]int32
+	heads := headsBuf[:0]
+	for _, m := range ms {
+		if m.Head != shm.NilOffset {
+			heads = append(heads, m.Head)
+		}
+	}
+	p.arena.FreeChains(heads)
+	for _, m := range ms {
+		p.put(m)
+	}
 }
 
 func (p *Pool) get() *Message {

@@ -214,6 +214,17 @@ func (a *Arena) Stats() Stats {
 	return a.stats
 }
 
+// LockStats reports the free-pool lock's traffic: total acquisitions
+// and the subset whose first attempt found the lock held. This is the
+// number the batched payload plane amortises — a LoanBatch of k
+// messages costs one acquisition here where k single loans cost k —
+// and what mpfbench -loanbatch asserts on. Reading it takes no lock,
+// so snapshots can bracket a measured interval without perturbing it
+// (note that FreeBlocks and Stats each cost one acquisition).
+func (a *Arena) LockStats() (acquisitions, contended uint64) {
+	return a.mu.Stats()
+}
+
 func (a *Arena) setLink(off, next int32) {
 	binary.LittleEndian.PutUint32(a.mem[off:off+4], uint32(next))
 }
@@ -668,21 +679,39 @@ func (a *Arena) wakeAndUnlock() {
 // FreeChain returns a linked chain (as built by AllocChain, AllocPayload
 // or message assembly) to the free pool in one lock acquisition. In span
 // mode each chain element is a span; its full run of blocks is returned.
+// It is FreeChains for a single chain.
 func (a *Arena) FreeChain(head int32) {
-	if head == NilOffset {
+	a.FreeChains([]int32{head})
+}
+
+// FreeChains returns a whole batch of chains to the free pool in a
+// single lock acquisition — the release half of the batched payload
+// plane, mirroring AllocChains/AllocPayloads on the allocation side. A
+// batched receive that consumed k messages (core's unpinAll, the
+// selector's view harvest) pays one free-pool transaction here instead
+// of k FreeChain calls. NilOffset entries are skipped, so callers can
+// pass message heads verbatim.
+func (a *Arena) FreeChains(heads []int32) {
+	if len(heads) == 0 {
 		return
 	}
-	a.checkOffset(head)
 	if a.spans {
-		// Collect element offsets outside the lock: link words of a
-		// chain being freed are owned by the caller until the release.
-		// The stack buffer covers the common case (a single span, or a
-		// lightly fragmented chain) without a heap allocation per free.
-		var offsBuf [8]int32
+		// Collect every chain's element offsets outside the lock (the
+		// link words are owned by the caller until the release); the
+		// stack buffer covers typical batches without a heap allocation.
+		var offsBuf [32]int32
 		offs := offsBuf[:0]
-		for off := head; off != NilOffset; off = a.link(off) {
-			a.checkOffset(off)
-			offs = append(offs, off)
+		for _, head := range heads {
+			if head == NilOffset {
+				continue
+			}
+			for off := head; off != NilOffset; off = a.link(off) {
+				a.checkOffset(off)
+				offs = append(offs, off)
+			}
+		}
+		if len(offs) == 0 {
+			return
 		}
 		a.mu.Lock()
 		for _, off := range offs {
@@ -691,24 +720,42 @@ func (a *Arena) FreeChain(head int32) {
 		a.wakeAndUnlock()
 		return
 	}
-	// Find the tail and count, outside the lock: link words of blocks
-	// being freed are owned by the caller until the splice below.
-	n := int32(1)
-	tail := head
-	for {
-		next := a.link(tail)
-		if next == NilOffset {
-			break
+	// Classic mode: find each chain's tail and length outside the lock,
+	// then splice them all onto the free list under one acquisition.
+	type chainEnd struct {
+		head, tail int32
+		n          int32
+	}
+	var endsBuf [16]chainEnd
+	ends := endsBuf[:0]
+	for _, head := range heads {
+		if head == NilOffset {
+			continue
 		}
-		a.checkOffset(next)
-		tail = next
-		n++
+		a.checkOffset(head)
+		n := int32(1)
+		tail := head
+		for {
+			next := a.link(tail)
+			if next == NilOffset {
+				break
+			}
+			a.checkOffset(next)
+			tail = next
+			n++
+		}
+		ends = append(ends, chainEnd{head: head, tail: tail, n: n})
+	}
+	if len(ends) == 0 {
+		return
 	}
 	a.mu.Lock()
-	a.setLink(tail, a.freeHead)
-	a.freeHead = head
-	a.nFree += n
-	a.stats.Frees += uint64(n)
+	for _, c := range ends {
+		a.setLink(c.tail, a.freeHead)
+		a.freeHead = c.head
+		a.nFree += c.n
+		a.stats.Frees += uint64(c.n)
+	}
 	a.wakeAndUnlock()
 }
 

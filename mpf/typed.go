@@ -25,9 +25,10 @@ func NewTypedSender[T any](s *SendConn) *TypedSender[T] {
 }
 
 // Send encodes v as one message, shipped through the loan plane: the
-// encoded bytes are copied straight into loaned blocks and committed,
-// one copy end to end. Not safe for concurrent use (a "process" is a
-// single thread of control, as in the paper).
+// encoded bytes are written in place into loaned blocks and committed
+// — they enter the shared region exactly once, with no ledger-counted
+// payload copy. Not safe for concurrent use (a "process" is a single
+// thread of control, as in the paper).
 func (t *TypedSender[T]) Send(v T) error {
 	t.buf.Reset()
 	if err := gob.NewEncoder(&t.buf).Encode(&v); err != nil {
@@ -37,20 +38,22 @@ func (t *TypedSender[T]) Send(v T) error {
 	if err != nil {
 		return err
 	}
-	ln.CopyFrom(t.buf.Bytes())
+	ln.View().CopyFrom(t.buf.Bytes())
 	return ln.Commit()
 }
 
 // SendBatch encodes each value as its own self-contained message and
-// transfers them as one batch: one circuit lock acquisition and one
-// receiver wakeup for the lot, with no interleaving from other senders.
-// Not safe for concurrent use.
+// transfers them as one LoanBatch: one arena transaction for every
+// payload chain, in-place fills, and one circuit lock acquisition with
+// one receiver wakeup for the lot — no interleaving from other
+// senders, no ledger-counted payload copy. Not safe for concurrent
+// use.
 func (t *TypedSender[T]) SendBatch(vs []T) error {
 	if len(vs) == 0 {
 		return nil
 	}
 	t.buf.Reset()
-	bufs := make([][]byte, len(vs))
+	ns := make([]int, len(vs))
 	offs := make([]int, len(vs)+1)
 	for i := range vs {
 		// Each value gets a fresh encoder so every message is an
@@ -59,12 +62,17 @@ func (t *TypedSender[T]) SendBatch(vs []T) error {
 			return fmt.Errorf("mpf: typed batch encode: %w", err)
 		}
 		offs[i+1] = t.buf.Len()
+		ns[i] = offs[i+1] - offs[i]
+	}
+	lb, err := t.s.LoanBatch(ns)
+	if err != nil {
+		return err
 	}
 	all := t.buf.Bytes()
 	for i := range vs {
-		bufs[i] = all[offs[i]:offs[i+1]]
+		lb.Fill(i, all[offs[i]:offs[i+1]])
 	}
-	return t.s.SendBatch(bufs)
+	return lb.CommitAll()
 }
 
 // Conn returns the underlying connection (for Close).

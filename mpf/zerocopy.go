@@ -41,6 +41,13 @@ type View = core.View
 // committed or aborted.
 var ErrLoanDone = core.ErrLoanDone
 
+// LoanBatch is a batch of in-flight zero-copy sends resolved together:
+// N writable windows from one arena transaction, one CommitAll linking
+// the whole run into the FIFO under a single circuit lock acquisition
+// (CommitN commits a prefix and aborts the rest; AbortAll returns
+// everything in one transaction). See SendConn.LoanBatch.
+type LoanBatch = core.LoanBatch
+
 // Loan allocates blocks for n payload bytes and hands them to the
 // caller to fill in place; Commit then enqueues the message with zero
 // send-side copies (message_send minus its copy). Allocation follows
@@ -50,6 +57,26 @@ var ErrLoanDone = core.ErrLoanDone
 func (s *SendConn) Loan(n int) (*Loan, error) {
 	return s.p.fac.c.SendLoan(s.p.pid, s.id, n)
 }
+
+// LoanBatch allocates one zero-copy send window per length in ns, all
+// in a single arena free-pool transaction — SendBatch's amortisation
+// on the loan plane. Fill the windows in place (Bytes/View/Fill) and
+// resolve the batch once: CommitAll enqueues every message under one
+// circuit lock acquisition with one receiver wakeup, atomically with
+// respect to other senders; AbortAll (safe to defer — a no-op once
+// resolved) returns every chain in one transaction. Writer and
+// TypedSender ship their multi-message traffic through this.
+func (s *SendConn) LoanBatch(ns []int) (*LoanBatch, error) {
+	return s.p.fac.c.LoanBatch(s.p.pid, s.id, ns)
+}
+
+// ReleaseViews releases every view in vs with batched unpinning: one
+// circuit lock acquisition, one reclamation scan and one arena
+// transaction per consecutive run of views from the same circuit —
+// which is how Selector.WaitViews orders its results, so releasing a
+// harvest costs O(ready circuits) lock traffic, not O(views).
+// Already-released views are skipped, like Release itself.
+func ReleaseViews(vs []*View) { core.ReleaseViews(vs) }
 
 // ReceiveView blocks until a message is available and claims it as a
 // pinned View instead of copying it out (message_receive minus its

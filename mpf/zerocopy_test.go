@@ -156,8 +156,8 @@ func TestBroadcastFanOutZeroReceiveCopies(t *testing.T) {
 }
 
 // TestWriterRidesTheLoanPlane pins the Writer rebase: single-chunk
-// writes go out as loans (one counted copy into the loaned blocks),
-// not as Send's build-and-copy.
+// writes go out as loans, the caller's bytes written in place — no
+// ledger-counted payload copy, not Send's build-and-copy.
 func TestWriterRidesTheLoanPlane(t *testing.T) {
 	fac, err := New(WithMaxProcesses(2))
 	if err != nil {
@@ -186,8 +186,8 @@ func TestWriterRidesTheLoanPlane(t *testing.T) {
 	if st.LoanSends != 1 {
 		t.Errorf("LoanSends = %d, want 1 (Writer chunk rides the loan plane)", st.LoanSends)
 	}
-	if st.PayloadCopiesIn != 1 {
-		t.Errorf("PayloadCopiesIn = %d, want 1 (the chunk copy into the loan)", st.PayloadCopiesIn)
+	if st.PayloadCopiesIn != 0 {
+		t.Errorf("PayloadCopiesIn = %d, want 0 (the chunk is produced in place, not copied)", st.PayloadCopiesIn)
 	}
 	buf := make([]byte, 2048)
 	n, err := r.Receive(buf)
