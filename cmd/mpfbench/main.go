@@ -7,7 +7,9 @@
 //	mpfbench -select [-quick]
 //	mpfbench -copies [-quick]
 //	mpfbench -loanbatch [-quick]
+//	mpfbench -credit [-quick]
 //	mpfbench -json BENCH.json [-quick]
+//	mpfbench -compare old.json new.json [-tolerance 0.25]
 //	mpfbench -ablate schemes|blocksize|lockcost|paradigm [-quick]
 //
 // With no -fig it regenerates all six result figures (3-8). Simulated
@@ -35,10 +37,25 @@
 // batched pipeline (LoanBatch/CommitAll + Selector.WaitViews) against
 // the per-message loan/view plane.
 //
+// -credit runs the flow-control fairness ablation: cold-circuit p99
+// Send latency and hot-circuit throughput versus the per-circuit
+// credit budget (0 = flow control off, the paper's global-exhaustion
+// behaviour) on an 8-circuit hot/cold mix.
+//
 // -json measures the machine-readable performance trajectory — the
-// contention, selector, copies and loan-batch headlines — and writes
-// it to the given path (default BENCH.json); CI uploads the file as an
-// artifact.
+// contention, selector, copies, loan-batch and credit headlines — and
+// writes it to the given path (default BENCH.json); CI uploads the
+// file as an artifact.
+//
+// -compare loads two BENCH.json files (previous/baseline, then fresh),
+// prints a markdown delta table over every headline metric present in
+// both, and exits 1 if any metric regressed beyond -tolerance
+// (relative, default 0.25). With -ratios-only, raw throughput metrics
+// are skipped and only the scale-invariant ratios and lock counts are
+// held — the right mode when the baseline was measured on different
+// hardware, such as the committed BENCH_BASELINE.json seed. The
+// perf-regression CI job appends the table to $GITHUB_STEP_SUMMARY
+// and inherits the exit code.
 package main
 
 import (
@@ -61,8 +78,69 @@ func main() {
 	sel := flag.Bool("select", false, "selector-scaling benchmark: per-circuit wakeups vs the global activity pulse")
 	copies := flag.Bool("copies", false, "copy ablation: paper plane vs span copy plane vs zero-copy loan/view plane")
 	loanbatch := flag.Bool("loanbatch", false, "batched zero-copy ablation: LoanBatch/WaitViews pipeline vs the per-message loan/view plane")
+	credit := flag.Bool("credit", false, "flow-control fairness ablation: cold-circuit latency and hot throughput vs per-circuit credit budget")
 	jsonOut := flag.String("json", "", "measure the perf trajectory and write it as JSON to this path (use BENCH.json for the CI artifact)")
+	compare := flag.Bool("compare", false, "compare two BENCH.json files (old new); exit 1 on regression beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.25, "relative loss a metric may take before -compare fails (0.25 = 25%)")
+	ratiosOnly := flag.Bool("ratios-only", false, "with -compare, hold only scale-invariant ratios and lock counts (for baselines measured on different hardware)")
 	flag.Parse()
+
+	if *compare {
+		// Accept trailing -tolerance / -ratios-only too (mpfbench
+		// -compare old new -tolerance 0.3): flag.Parse stops at the
+		// first positional.
+		args := flag.Args()
+		var paths []string
+		for i := 0; i < len(args); i++ {
+			if args[i] == "-ratios-only" || args[i] == "--ratios-only" {
+				*ratiosOnly = true
+				continue
+			}
+			if args[i] == "-tolerance" || args[i] == "--tolerance" {
+				if i+1 >= len(args) {
+					fmt.Fprintln(os.Stderr, "mpfbench: -tolerance needs a value")
+					os.Exit(2)
+				}
+				v, err := strconv.ParseFloat(args[i+1], 64)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mpfbench: bad -tolerance %q\n", args[i+1])
+					os.Exit(2)
+				}
+				*tolerance = v
+				i++
+				continue
+			}
+			paths = append(paths, args[i])
+		}
+		if len(paths) != 2 {
+			fmt.Fprintln(os.Stderr, "mpfbench: -compare needs exactly two paths: old.json new.json")
+			os.Exit(2)
+		}
+		oldS, err := bench.ReadSummary(paths[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpfbench: compare: %v\n", err)
+			os.Exit(1)
+		}
+		newS, err := bench.ReadSummary(paths[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpfbench: compare: %v\n", err)
+			os.Exit(1)
+		}
+		rows, regressions, err := bench.Compare(oldS, newS, *tolerance, *ratiosOnly)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpfbench: compare: %v\n", err)
+			os.Exit(1)
+		}
+		if *ratiosOnly {
+			fmt.Println("(ratios-only: raw throughputs skipped — baseline measured on different hardware)")
+			fmt.Println()
+		}
+		fmt.Print(bench.RenderCompare(rows, regressions, *tolerance))
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonOut != "" {
 		path := *jsonOut
@@ -82,6 +160,7 @@ func main() {
 		}
 		fmt.Printf(", loanbatch %.1fx throughput / %.1fx lock amortisation",
 			summary.LoanBatch.Advantage, summary.LoanBatch.LockAmortisation)
+		fmt.Printf(", credit %.1fx cold-p99 fairness", summary.Credit.FairnessAdvantage)
 		fmt.Println(")")
 		return
 	}
@@ -105,6 +184,17 @@ func main() {
 		}
 		fmt.Println(throughput.Render())
 		fmt.Println(locks.Render())
+		return
+	}
+
+	if *credit {
+		latency, hot, err := bench.CreditSweep(bench.Config{Mode: bench.Native, Quick: *quick})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpfbench: credit: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(latency.Render())
+		fmt.Println(hot.Render())
 		return
 	}
 

@@ -25,13 +25,21 @@
 // under one circuit lock, while Selector.WaitViews harvests ready
 // circuits into pinned views inside the wait round and ReleaseViews
 // returns them in per-circuit transactions, so the per-message fixed
-// costs are paid per batch. mpfbench -contention, -select, -copies
-// and -loanbatch quantify these against the paper's single-lock,
-// single-pulse, two-copy, per-message layout, and mpfbench -json
-// records the headline numbers as a machine-readable BENCH.json. CI
-// (.github/workflows/ci.yml) gates build, vet, gofmt, the unit suite,
-// a race-detector subset, a benchmark smoke, the perf-trajectory
-// artifact and a protocol-invariant fuzz smoke on every change.
+// costs are paid per batch — and bounds every circuit's arena share
+// with per-circuit credit flow control (DESIGN.md §13): WithCredit(n)
+// grants each circuit a receiver-side budget of n accounted blocks,
+// debited by the send paths at allocation and re-granted as receivers
+// release the blocks, so a hot tenant parks on its own budget instead
+// of starving the facility. mpfbench -contention, -select, -copies,
+// -loanbatch and -credit quantify these against the paper's
+// single-lock, single-pulse, two-copy, per-message, globally-starved
+// layout, and mpfbench -json records the headline numbers as a
+// machine-readable BENCH.json, which mpfbench -compare diffs across
+// runs. CI (.github/workflows/ci.yml) gates build, vet, staticcheck,
+// gofmt, the unit suite on two Go versions, a race-detector subset, a
+// benchmark smoke, the perf-trajectory artifact, a perf-regression
+// comparison against the previous run (seeded by BENCH_BASELINE.json)
+// and a protocol-invariant fuzz smoke on every change.
 //
 // See README.md and DESIGN.md.
 package repro

@@ -17,13 +17,20 @@
 // Compare `mpfbench -select` and `mpfbench -loanbatch` for the same
 // shapes measured against their ablation baselines.
 //
-//	go run ./examples/eventloop [-producers 8] [-msgs 5000] [-batch 16]
+// With -credit n the facility runs under per-circuit credit flow
+// control (mpf.WithCredit): each producer circuit is bounded to n
+// accounted blocks of the arena, so a producer outrunning the event
+// loop parks on its own budget instead of starving its siblings; the
+// run then also asserts the ledger drained back to zero held blocks.
+//
+//	go run ./examples/eventloop [-producers 8] [-msgs 5000] [-batch 16] [-credit 0]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"repro/mpf"
@@ -33,16 +40,24 @@ func main() {
 	producers := flag.Int("producers", 8, "producer processes, one circuit each")
 	msgs := flag.Int("msgs", 5000, "messages per producer")
 	batch := flag.Int("batch", 16, "producer loan-batch size and consumer harvest budget")
+	credit := flag.Int("credit", 0, "per-circuit credit budget in blocks (0 = flow control off); must cover one loan batch")
 	flag.Parse()
-	if *producers < 1 || *msgs < 1 || *batch < 1 {
-		log.Fatalf("eventloop: need positive -producers, -msgs, -batch")
+	if *producers < 1 || *msgs < 1 || *batch < 1 || *credit < 0 {
+		log.Fatalf("eventloop: need positive -producers, -msgs, -batch and non-negative -credit")
 	}
 
-	fac, err := mpf.New(
-		mpf.WithMaxProcesses(*producers+1),
-		mpf.WithMaxLNVCs(*producers+2),
+	opts := []mpf.Option{
+		mpf.WithMaxProcesses(*producers + 1),
+		mpf.WithMaxLNVCs(*producers + 2),
 		mpf.WithBlocksPerProcess(4096),
-	)
+	}
+	if *credit > 0 {
+		// Bound every producer circuit's share of the arena: a producer
+		// that outruns the event loop parks on its own circuit's credit
+		// waiter instead of bleeding the region dry for its siblings.
+		opts = append(opts, mpf.WithCredit(*credit))
+	}
+	fac, err := mpf.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,11 +65,27 @@ func main() {
 
 	counts := make([]int, *producers)
 	var elapsed time.Duration
+	// Credit is receiver-granted: a credited producer that spends its
+	// whole budget before the event loop has joined its circuit can
+	// never be granted more and fails with ErrNotConnected, by design.
+	// The loop therefore signals once every circuit is open and
+	// credited producers hold their first batch until then; uncredited
+	// producers keep the PR-4 behaviour (no handshake — early records
+	// are simply retained and inherited by the first receiver). The
+	// signal also fires if the loop dies during setup, so producers
+	// fail forward (ErrNotConnected) instead of parking forever.
+	loopReady := make(chan struct{})
+	var readyOnce sync.Once
+	signalReady := func() { readyOnce.Do(func() { close(loopReady) }) }
 	err = fac.Run(*producers+1, func(p *mpf.Process) error {
 		if p.PID() < *producers {
+			if *credit > 0 {
+				<-loopReady
+			}
 			return produce(p, *msgs, *batch)
 		}
-		return consume(p, *producers, *msgs, *batch, counts, &elapsed)
+		defer signalReady()
+		return consume(p, *producers, *msgs, *batch, counts, &elapsed, signalReady)
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -73,6 +104,13 @@ func main() {
 		st.MuxWakeups, float64(st.MuxWakeups)/float64(total), st.MuxSpurious)
 	fmt.Printf("ledger: %d loan-batch sends, %d harvested views, %d/%d payload copies in/out\n",
 		st.LoanBatchSends, st.HarvestedViews, st.PayloadCopiesIn, st.PayloadCopiesOut)
+	if *credit > 0 {
+		fmt.Printf("credit: %d-block budget per circuit, %d send stalls, %d blocks still held\n",
+			*credit, st.CreditStalls, st.CreditsHeld)
+		if st.CreditsHeld != 0 {
+			log.Fatalf("eventloop: credit ledger not quiescent: %d blocks still held", st.CreditsHeld)
+		}
+	}
 	// The whole point of the batched zero-copy pipeline: not one payload
 	// byte copied in either direction. CI runs this example at fan-out 8
 	// and relies on the check.
@@ -88,10 +126,12 @@ func main() {
 // produce ships msgs records on this producer's private circuit in
 // loan batches: the records are produced directly into shared-memory
 // spans and committed in groups, one arena transaction and one circuit
-// lock per group. No ready handshake is needed: records sent before
-// the event loop joins are retained and inherited by the first
-// receiver, and the send connection stays open (until Shutdown) so the
-// circuit cannot die in the gap.
+// lock per group. Uncredited, no ready handshake is needed: records
+// sent before the event loop joins are retained and inherited by the
+// first receiver, and the send connection stays open (until Shutdown)
+// so the circuit cannot die in the gap. Credited producers are gated
+// by the caller until the loop has joined — credit is receiver-granted
+// and a budget spent into a receiverless circuit can never refill.
 func produce(p *mpf.Process, msgs, batch int) error {
 	s, err := p.OpenSend(fmt.Sprintf("work-%d", p.PID()))
 	if err != nil {
@@ -133,7 +173,7 @@ func produce(p *mpf.Process, msgs, batch int) error {
 // drains it with WaitViews: each wait round hands back a batch of
 // pinned views — already claimed, read in place, attributed to their
 // circuits — which are then released together.
-func consume(p *mpf.Process, producers, msgs, batch int, counts []int, elapsed *time.Duration) error {
+func consume(p *mpf.Process, producers, msgs, batch int, counts []int, elapsed *time.Duration, signalReady func()) error {
 	sel, err := p.NewSelector()
 	if err != nil {
 		return err
@@ -150,6 +190,7 @@ func consume(p *mpf.Process, producers, msgs, batch int, counts []int, elapsed *
 		}
 		byID[rc.ID()] = i
 	}
+	signalReady() // every circuit has its receiver: credited producers may start
 
 	start := time.Now()
 	total, want := 0, producers*msgs

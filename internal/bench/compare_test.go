@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleSummary builds a plausible schema-3 summary for comparison
+// tests; the absolute numbers only have to be self-consistent.
+func sampleSummary() *JSONSummary {
+	s := &JSONSummary{Schema: 3}
+	s.Contention.Workers = 8
+	s.Contention.Batch = 16
+	s.Contention.UnshardedMsgsPerSec = 100_000
+	s.Contention.ShardedBatchedMsgsPerSec = 450_000
+	s.Contention.Advantage = 4.5
+	s.Selector.SelectorMsgsPerSec = 300_000
+	s.Selector.GlobalPulseMsgsPerSec = 200_000
+	s.Selector.WakeupAdvantage = 16
+	s.Copies = []CopiesPoint{
+		{PayloadBytes: 4096, FanOut: 1, CopyMsgsPerSec: 90_000, ZeroMsgsPerSec: 250_000, Advantage: 2.8},
+		{PayloadBytes: 16384, FanOut: 1, CopyMsgsPerSec: 30_000, ZeroMsgsPerSec: 100_000, Advantage: 3.4},
+	}
+	s.LoanBatch.Batch = 16
+	s.LoanBatch.PayloadBytes = 4096
+	s.LoanBatch.BatchedMsgsPerSec = 480_000
+	s.LoanBatch.Advantage = 1.9
+	s.LoanBatch.LockAmortisation = 14
+	s.LoanBatch.BatchedArenaLocksPerMsg = 0.14
+	s.Credit.Circuits = CreditFairnessCircuits
+	s.Credit.Budget = CreditFairnessBudget
+	s.Credit.UncreditedColdP99Micros = 900
+	s.Credit.CreditedColdP99Micros = 120
+	s.Credit.FairnessAdvantage = 7.5
+	s.Credit.CreditedHotMsgsPerSec = 150_000
+	s.Credit.CreditStalls = 4000
+	return s
+}
+
+// TestCompareIdentical: a summary never regresses against itself.
+func TestCompareIdentical(t *testing.T) {
+	s := sampleSummary()
+	rows, regressions, err := Compare(s, s, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("self-comparison found %d regressions", regressions)
+	}
+	if len(rows) == 0 {
+		t.Fatal("self-comparison produced no rows")
+	}
+	for _, r := range rows {
+		if r.Delta != 0 || r.Regressed {
+			t.Errorf("metric %s: delta %+.2f regressed=%v against itself", r.Name, r.Delta, r.Regressed)
+		}
+	}
+}
+
+// TestCompareDoctoredDrop is the perf-regression job's teeth, in
+// miniature: a 30% throughput drop on one headline must fail a 25%
+// tolerance, and the rendered table must name the regressed metric.
+func TestCompareDoctoredDrop(t *testing.T) {
+	oldS, newS := sampleSummary(), sampleSummary()
+	newS.LoanBatch.BatchedMsgsPerSec *= 0.70 // the doctored 30% drop
+	rows, regressions, err := Compare(oldS, newS, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("doctored drop found %d regressions, want 1", regressions)
+	}
+	table := RenderCompare(rows, regressions, 0.25)
+	if !strings.Contains(table, "loan_batch.batched_msgs_per_sec") || !strings.Contains(table, "REGRESSED") {
+		t.Errorf("delta table does not flag the doctored metric:\n%s", table)
+	}
+}
+
+// TestCompareWithinTolerance: a 20% wobble survives a 25% tolerance in
+// either direction, including on the lower-is-better lock-count
+// metric.
+func TestCompareWithinTolerance(t *testing.T) {
+	oldS, newS := sampleSummary(), sampleSummary()
+	newS.Contention.ShardedBatchedMsgsPerSec *= 0.80
+	newS.LoanBatch.BatchedArenaLocksPerMsg *= 1.20
+	if _, regressions, err := Compare(oldS, newS, 0.25, false); err != nil || regressions != 0 {
+		t.Fatalf("20%% wobble regressed under a 25%% tolerance: %d (err %v)", regressions, err)
+	}
+}
+
+// TestCompareLowerIsBetterDirection: the lower-is-better arena-lock
+// metric regresses when it *rises* beyond tolerance — batching that
+// stops amortising is a regression even if throughput holds.
+func TestCompareLowerIsBetterDirection(t *testing.T) {
+	oldS, newS := sampleSummary(), sampleSummary()
+	newS.LoanBatch.BatchedArenaLocksPerMsg *= 2 // locks doubled = regression
+	rows, regressions, err := Compare(oldS, newS, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("doubled locks/msg found %d regressions, want 1", regressions)
+	}
+	var hit bool
+	for _, r := range rows {
+		if r.Name == "loan_batch.batched_arena_locks_per_msg" {
+			hit = r.Regressed
+		}
+	}
+	if !hit {
+		t.Error("doubled locks/msg not flagged on its own row")
+	}
+}
+
+// TestCompareSchemaMismatch: a bump may redefine a metric under its
+// old name, so comparing across schemas is refused outright rather
+// than producing definition-skew deltas.
+func TestCompareSchemaMismatch(t *testing.T) {
+	oldS, newS := sampleSummary(), sampleSummary()
+	oldS.Schema = 2
+	if _, _, err := Compare(oldS, newS, 0.25, false); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("cross-schema comparison: %v, want ErrSchemaMismatch", err)
+	}
+}
+
+// TestCompareShapeSkew: within one schema, a baseline with a different
+// metric shape (fewer measured copies points, say) compares cleanly —
+// metrics only one side has are simply unheld — the credit section
+// never enters the comparison (its starvation headline is unbounded
+// noise by construction; see metrics()), and regressions on shared
+// metrics still bite.
+func TestCompareShapeSkew(t *testing.T) {
+	oldS, newS := sampleSummary(), sampleSummary()
+	oldS.Copies = oldS.Copies[:1] // older baseline: one measured point
+	rows, regressions, err := Compare(oldS, newS, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("shape skew produced %d regressions", regressions)
+	}
+	for _, r := range rows {
+		if strings.HasPrefix(r.Name, "copies.16384B") {
+			t.Errorf("metric %s compared against a baseline that lacks it", r.Name)
+		}
+		if strings.HasPrefix(r.Name, "credit.") {
+			t.Errorf("credit metric %s entered the comparison set", r.Name)
+		}
+	}
+	newS.Contention.ShardedBatchedMsgsPerSec *= 0.70
+	if _, regressions, err := Compare(oldS, newS, 0.25, false); err != nil || regressions != 1 {
+		t.Fatalf("shared-metric drop under skew found %d regressions (err %v), want 1", regressions, err)
+	}
+}
+
+// TestCompareRatiosOnly: against a baseline measured on different
+// hardware (the committed seed), raw throughput deltas are noise and
+// are skipped — but a dropped ratio still fails: box speed divides out
+// of ratios, so losing one is a real regression anywhere.
+func TestCompareRatiosOnly(t *testing.T) {
+	oldS, newS := sampleSummary(), sampleSummary()
+	newS.Contention.ShardedBatchedMsgsPerSec *= 0.40 // a slower box, not a regression
+	rows, regressions, err := Compare(oldS, newS, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("ratios-only comparison flagged a raw throughput delta: %d", regressions)
+	}
+	for _, r := range rows {
+		if strings.HasSuffix(r.Name, "msgs_per_sec") {
+			t.Errorf("raw metric %s entered a ratios-only comparison", r.Name)
+		}
+	}
+	newS.LoanBatch.Advantage *= 0.60 // the batched plane stopped winning
+	if _, regressions, err := Compare(oldS, newS, 0.25, true); err != nil || regressions != 1 {
+		t.Fatalf("ratios-only comparison missed a dropped ratio: %d regressions, want 1", regressions)
+	}
+}
+
+// TestSummaryRoundTrip: Write then ReadSummary reproduces the
+// comparable metric set exactly — the artifact chain the CI job relies
+// on.
+func TestSummaryRoundTrip(t *testing.T) {
+	s := sampleSummary()
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := s.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, regressions, err := Compare(s, back, 0, false); err != nil || regressions != 0 {
+		t.Fatalf("round-tripped summary regressed against the original")
+	}
+	if got, want := len(back.metrics()), len(s.metrics()); got != want {
+		t.Fatalf("round-trip lost metrics: %d, want %d", got, want)
+	}
+}

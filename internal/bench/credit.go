@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/mpf"
+)
+
+// Credit-fairness ablation. The paper's only backpressure signal is
+// global block-pool exhaustion: every sender competes for the same
+// arena, so one hot circuit that outruns its receiver fills the region
+// and every *other* circuit's Send parks behind it — multi-tenant
+// starvation from a single bursty workload (cf. the MMPP burstiness
+// models in PAPERS.md). Per-circuit credit (mpf.WithCredit) bounds the
+// hot circuit's arena share instead: the hot sender parks on its own
+// circuit's budget while the rest of the region stays free for
+// everyone else.
+//
+// NativeCreditFairness measures exactly that unfairness: a hot
+// circuit whose sender free-runs against a deliberately slow receiver,
+// next to cold circuits sending sparse traffic that is consumed
+// immediately. The reported number is the cold senders' p99 Send
+// latency — the tenant experience — with hot-circuit throughput
+// alongside to show what the budget costs the aggressor.
+
+// CreditFairnessBudget and CreditFairnessCircuits are the headline
+// configuration the gate test and BENCH.json measure: an 8-circuit
+// hot/cold mix at a 16-block budget.
+const (
+	CreditFairnessBudget   = 16
+	CreditFairnessCircuits = 8
+)
+
+// CreditFairnessResult is one fairness run's outcome.
+type CreditFairnessResult struct {
+	// ColdP50 and ColdP99 are the cold senders' Send latency
+	// percentiles across every cold send of the run.
+	ColdP50, ColdP99 time.Duration
+	// HotMsgsPerSec is the hot circuit's delivered throughput — the
+	// price the aggressor pays for the budget.
+	HotMsgsPerSec float64
+	// Stats carries the ledger (CreditStalls, CreditsHeld) the gate
+	// asserts on.
+	Stats mpf.Stats
+}
+
+// NativeCreditFairness runs one hot circuit (a free-running sender of
+// 240-byte messages against a receiver pausing between receives)
+// beside circuits-1 cold circuits (56-byte messages consumed
+// immediately) on a shared region, with every circuit budgeted to
+// creditBlocks accounted blocks (0 = flow control off, the paper's
+// behaviour). Each cold sender times coldMsgs sends; the run reports
+// the aggregate cold latency percentiles and the hot throughput.
+func NativeCreditFairness(creditBlocks, circuits, coldMsgs int) (CreditFairnessResult, error) {
+	if circuits < 2 || coldMsgs < 1 || creditBlocks < 0 {
+		return CreditFairnessResult{}, fmt.Errorf("bench: creditfairness(credit=%d, circuits=%d, coldMsgs=%d)",
+			creditBlocks, circuits, coldMsgs)
+	}
+	procs := 2 * circuits // sender + receiver per circuit
+	// Size the region so the credited hot circuit can never exhaust it
+	// (circuits × budget < total blocks) while the uncredited one can:
+	// 32 blocks per process = 512 blocks at the headline 8 circuits,
+	// which a free-running 4-block-per-message hot sender fills in a few
+	// hundred microseconds of receiver pause.
+	opts := []mpf.Option{
+		mpf.WithMaxProcesses(procs),
+		mpf.WithMaxLNVCs(circuits + 2),
+		mpf.WithBlocksPerProcess(512 / procs),
+	}
+	if creditBlocks > 0 {
+		opts = append(opts, mpf.WithCredit(creditBlocks))
+	}
+	fac, err := mpf.New(opts...)
+	if err != nil {
+		return CreditFairnessResult{}, err
+	}
+	defer fac.Shutdown()
+
+	const (
+		hotPayloadLen  = 240 // 4 accounted blocks under 64-byte blocks
+		coldPayloadLen = 56  // 1 accounted block
+		hotDrainPause  = 100 * time.Microsecond
+	)
+	name := func(c int) string { return fmt.Sprintf("fair-%d", c) }
+	poison := []byte{0xFF}
+
+	var (
+		coldDone  atomic.Int32 // cold senders finished
+		hotStop   atomic.Bool  // set when every cold sender is done
+		hotSent   atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration // cold Send latencies, all senders
+		// Credit is receiver-granted: a sender that spends its whole
+		// budget before its receiver has opened can never be granted
+		// more and fails with ErrNotConnected, by design. Real tenants
+		// bring their receivers up before the traffic; the bench gates
+		// senders on every receiver being open so the measurement
+		// starts from that shape. A receiver that fails to open
+		// releases the gate too (via its deferred release), so senders
+		// fail forward instead of parking on a channel nobody will
+		// close.
+		recvOpen  atomic.Int32
+		readyOnce sync.Once
+		recvReady = make(chan struct{})
+	)
+	releaseSenders := func() { readyOnce.Do(func() { close(recvReady) }) }
+	markOpen := func() {
+		if recvOpen.Add(1) == int32(circuits) {
+			releaseSenders()
+		}
+	}
+	var hotElapsed time.Duration
+	// Uncredited, the hot circuit's monopoly starves cold sends for an
+	// *unbounded* time (that unboundedness is the finding), so the run
+	// caps the monopoly window: after maxMonopoly the hot receiver
+	// drops its deliberate pause and the backlog drains, bounding both
+	// the recorded starvation and the benchmark's wall time. Credited
+	// runs finish far inside the cap and never see it fire.
+	const maxMonopoly = 5 * time.Second
+	watchdog := time.AfterFunc(maxMonopoly, func() { hotStop.Store(true) })
+	defer watchdog.Stop()
+	start := time.Now()
+	err = fac.Run(procs, func(p *mpf.Process) error {
+		pid := p.PID()
+		switch {
+		case pid == 0: // hot sender
+			s, err := p.OpenSend(name(0))
+			if err != nil {
+				return err
+			}
+			<-recvReady
+			payload := make([]byte, hotPayloadLen)
+			for !hotStop.Load() {
+				if err := s.Send(payload); err != nil {
+					return err
+				}
+				hotSent.Add(1)
+			}
+			hotElapsed = time.Since(start)
+			return s.Send(poison)
+		case pid < circuits: // cold senders
+			s, err := p.OpenSend(name(pid))
+			if err != nil {
+				return err
+			}
+			<-recvReady
+			payload := make([]byte, coldPayloadLen)
+			lats := make([]time.Duration, 0, coldMsgs)
+			for i := 0; i < coldMsgs; i++ {
+				t0 := time.Now()
+				if err := s.Send(payload); err != nil {
+					return err
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			mu.Lock()
+			latencies = append(latencies, lats...)
+			mu.Unlock()
+			if coldDone.Add(1) == int32(circuits-1) {
+				hotStop.Store(true)
+			}
+			return s.Send(poison)
+		case pid == circuits: // hot receiver: the deliberate bottleneck
+			defer releaseSenders()
+			r, err := p.OpenReceive(name(0), mpf.FCFS)
+			if err != nil {
+				return err
+			}
+			defer r.Close()
+			markOpen()
+			buf := make([]byte, hotPayloadLen)
+			for {
+				n, err := r.Receive(buf)
+				if err != nil {
+					return err
+				}
+				if n == 1 && buf[0] == 0xFF {
+					return nil
+				}
+				// The pause is what lets the uncredited hot sender pile
+				// blocks up; once the cold senders are done it stops, so
+				// the backlog drains at full speed and the run ends.
+				if !hotStop.Load() {
+					time.Sleep(hotDrainPause)
+				}
+			}
+		default: // cold receivers: consume immediately
+			defer releaseSenders()
+			c := pid - circuits
+			r, err := p.OpenReceive(name(c), mpf.FCFS)
+			if err != nil {
+				return err
+			}
+			defer r.Close()
+			markOpen()
+			buf := make([]byte, coldPayloadLen)
+			for {
+				n, err := r.Receive(buf)
+				if err != nil {
+					return err
+				}
+				if n == 1 && buf[0] == 0xFF {
+					return nil
+				}
+			}
+		}
+	})
+	if err != nil {
+		return CreditFairnessResult{}, err
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res := CreditFairnessResult{
+		ColdP50: percentile(latencies, 0.50),
+		ColdP99: percentile(latencies, 0.99),
+		Stats:   fac.Stats(),
+	}
+	if hotElapsed > 0 {
+		res.HotMsgsPerSec = float64(hotSent.Load()) / hotElapsed.Seconds()
+	}
+	return res, nil
+}
+
+// percentile returns the p-quantile of sorted (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// CreditSweep runs the fairness ablation across credit budgets and
+// returns two figures at the headline circuit count: the cold senders'
+// p99 Send latency versus budget (0 = flow control off, drawn at x=0),
+// and the hot circuit's throughput versus budget — fairness bought and
+// what it costs the aggressor.
+func CreditSweep(cfg Config) (latency, hot *stats.Figure, err error) {
+	coldMsgs := cfg.scale(300, 40)
+	budgets := []int{0, 8, 16, 32, 64}
+	if cfg.Quick {
+		budgets = []int{0, 16, 64}
+	}
+	latency = stats.NewFigure(
+		fmt.Sprintf("Credit Ablation — Cold-Circuit p99 Send Latency vs. Budget (native, %d circuits, hot/cold mix)", CreditFairnessCircuits),
+		"credit blocks (0 = off)", "p99 µs")
+	hot = stats.NewFigure(
+		fmt.Sprintf("Credit Ablation — Hot-Circuit Throughput vs. Budget (native, %d circuits, hot/cold mix)", CreditFairnessCircuits),
+		"credit blocks (0 = off)", "hot msgs/sec")
+	lat := latency.AddSeries("cold p99 send latency")
+	p50 := latency.AddSeries("cold p50 send latency")
+	hotTput := hot.AddSeries("hot circuit throughput")
+	for _, b := range budgets {
+		res, err := NativeCreditFairness(b, CreditFairnessCircuits, coldMsgs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("creditfairness budget=%d: %w", b, err)
+		}
+		lat.Add(b, float64(res.ColdP99)/float64(time.Microsecond))
+		p50.Add(b, float64(res.ColdP50)/float64(time.Microsecond))
+		hotTput.Add(b, res.HotMsgsPerSec)
+	}
+	return latency, hot, nil
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkCreditFairness reports the cold-circuit p99 Send latency
+// with and without the headline credit budget; the companion gate
+// (TestCreditFairness) enforces the ratio, this benchmark records the
+// continuous trajectory.
+func BenchmarkCreditFairness(b *testing.B) {
+	for _, budget := range []int{0, CreditFairnessBudget} {
+		name := "uncredited"
+		if budget > 0 {
+			name = "credited"
+		}
+		b.Run(name, func(b *testing.B) {
+			coldMsgs := b.N
+			if coldMsgs < 20 {
+				coldMsgs = 20
+			}
+			if coldMsgs > 400 {
+				coldMsgs = 400
+			}
+			res, err := NativeCreditFairness(budget, CreditFairnessCircuits, coldMsgs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.ColdP99)/float64(time.Microsecond), "cold-p99-µs")
+			b.ReportMetric(res.HotMsgsPerSec, "hot-msgs/s")
+		})
+	}
+}
+
+// TestCreditFairness is the flow-control gate, with three teeth. At
+// the headline 8-circuit hot/cold mix and 16-block budget:
+//
+//   - fairness: the cold circuits' p99 Send latency must improve at
+//     least 2x over the uncredited facility, where the hot circuit
+//     monopolises the arena and every cold Send parks behind its
+//     backlog (best of five attempts — latency comparisons on shared
+//     CI boxes are noisy);
+//   - the budget must actually engage: the credited run shows
+//     CreditStalls > 0 (the hot sender parked on its budget);
+//   - the no-credit ablation contract: the uncredited run must never
+//     touch the ledger (zero stalls, zero held blocks) — flow control
+//     off is behaviourally the pre-credit facility.
+func TestCreditFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency comparison skipped in -short mode")
+	}
+	// The uncredited runs are wall-clock expensive by construction (the
+	// hot circuit's monopoly is what starves cold sends for seconds),
+	// and the measured margin is ~5 orders of magnitude above the 2x
+	// bar, so a modest sample count loses nothing.
+	const (
+		coldMsgs = 80
+		want     = 2.0
+	)
+	best := 0.0
+	for attempt := 0; attempt < 5; attempt++ {
+		un, err := NativeCreditFairness(0, CreditFairnessCircuits, coldMsgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := NativeCreditFairness(CreditFairnessBudget, CreditFairnessCircuits, coldMsgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if un.Stats.CreditStalls != 0 || un.Stats.CreditsHeld != 0 {
+			t.Fatalf("uncredited run touched the ledger: stalls %d, held %d",
+				un.Stats.CreditStalls, un.Stats.CreditsHeld)
+		}
+		if cr.Stats.CreditStalls == 0 {
+			t.Fatalf("credited run never stalled: the budget did not engage")
+		}
+		if cr.Stats.CreditsHeld != 0 {
+			t.Fatalf("credited run not quiescent: %d blocks still held", cr.Stats.CreditsHeld)
+		}
+		ratio := 0.0
+		if cr.ColdP99 > 0 {
+			ratio = float64(un.ColdP99) / float64(cr.ColdP99)
+		}
+		t.Logf("attempt %d: uncredited cold p99 %v (p50 %v), credited cold p99 %v (p50 %v): %.1fx; hot %0.f vs %0.f msgs/s, %d stalls",
+			attempt, un.ColdP99, un.ColdP50, cr.ColdP99, cr.ColdP50, ratio,
+			un.HotMsgsPerSec, cr.HotMsgsPerSec, cr.Stats.CreditStalls)
+		if ratio > best {
+			best = ratio
+		}
+		if best >= want {
+			break
+		}
+	}
+	if best < want {
+		t.Errorf("credit improves cold p99 send latency %.2fx, want >= %.1fx", best, want)
+	}
+}
+
+// TestCreditSweepQuick exercises the ablation sweep end-to-end.
+func TestCreditSweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	latency, hot, err := CreditSweep(Config{Mode: Native, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(latency.Series) != 2 {
+		t.Errorf("latency figure has %d series, want 2", len(latency.Series))
+	}
+	if len(hot.Series) != 1 {
+		t.Errorf("hot figure has %d series, want 1", len(hot.Series))
+	}
+	for _, s := range append(latency.Series, hot.Series...) {
+		if len(s.Points) != 3 {
+			t.Errorf("series %q has %d points, want 3", s.Label, len(s.Points))
+		}
+	}
+}

@@ -4,15 +4,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 )
 
 // Machine-readable performance trajectory. Summary runs compact
-// versions of the four headline benchmarks — contention scaling
-// (PR 1), selector wakeups (PR 2), the copies ablation (PR 3) and the
-// batched loan/harvest plane (PR 4) — and JSONSummary.Write serialises
-// the result as BENCH.json, which CI uploads as an artifact so the
-// repository's throughput history can be charted across commits
-// without re-parsing log text.
+// versions of the five headline benchmarks — contention scaling
+// (PR 1), selector wakeups (PR 2), the copies ablation (PR 3), the
+// batched loan/harvest plane (PR 4) and the credit-fairness ablation
+// (PR 5) — and JSONSummary.Write serialises the result as BENCH.json,
+// which CI uploads as an artifact so the repository's throughput
+// history can be charted across commits without re-parsing log text.
+// The perf-regression CI job feeds two BENCH.json files (previous run,
+// or the committed BENCH_BASELINE.json seed, versus fresh) through
+// Compare and fails the build when a headline drops beyond tolerance.
 
 // JSONSummary is the BENCH.json schema. All throughput figures are
 // operations per second; ratios are dimensionless.
@@ -34,9 +38,14 @@ type JSONSummary struct {
 		CircuitsPerWaiter      int     `json:"circuits_per_waiter"`
 		GlobalSpuriousPerMsg   float64 `json:"global_pulse_spurious_per_msg"`
 		SelectorSpuriousPerMsg float64 `json:"selector_spurious_per_msg"`
-		WakeupAdvantage        float64 `json:"wakeup_advantage"`
-		SelectorMsgsPerSec     float64 `json:"selector_msgs_per_sec"`
-		GlobalPulseMsgsPerSec  float64 `json:"global_pulse_msgs_per_sec"`
+		// WakeupAdvantage is the smoothed wakeup ratio,
+		// (global+1)/(selector+1) spurious wakeups per delivered
+		// message — i.e. total park wakeups per message. Schema 3: the
+		// raw ratio was bimodal because the selector's spurious count
+		// is routinely exactly zero.
+		WakeupAdvantage       float64 `json:"wakeup_advantage"`
+		SelectorMsgsPerSec    float64 `json:"selector_msgs_per_sec"`
+		GlobalPulseMsgsPerSec float64 `json:"global_pulse_msgs_per_sec"`
 	} `json:"selector"`
 
 	Copies []CopiesPoint `json:"copies"`
@@ -58,6 +67,25 @@ type JSONSummary struct {
 		// locks/msg; the CI gate wants >= 8.
 		LockAmortisation float64 `json:"lock_amortisation"`
 	} `json:"loan_batch"`
+
+	// Credit is the PR 5 headline: the fairness ablation at the
+	// 8-circuit hot/cold mix. The uncredited facility lets the hot
+	// circuit monopolise the arena, so every cold Send parks behind its
+	// backlog; the 16-block budget bounds the hot circuit's share and
+	// the cold tenants' p99 Send latency collapses. Schema 3.
+	Credit struct {
+		Circuits int `json:"circuits"`
+		Budget   int `json:"budget_blocks"`
+		// Cold-circuit p99 Send latency in microseconds, without and
+		// with the budget, and the improvement ratio (the gate wants
+		// >= 2 in the test; the trajectory records the real number).
+		UncreditedColdP99Micros float64 `json:"uncredited_cold_p99_micros"`
+		CreditedColdP99Micros   float64 `json:"credited_cold_p99_micros"`
+		FairnessAdvantage       float64 `json:"fairness_advantage"`
+		// What the budget costs the aggressor, and proof it engaged.
+		CreditedHotMsgsPerSec float64 `json:"credited_hot_msgs_per_sec"`
+		CreditStalls          uint64  `json:"credit_stalls"`
+	} `json:"credit"`
 }
 
 // CopiesPoint is one copies-ablation measurement in BENCH.json.
@@ -75,116 +103,160 @@ type CopiesPoint struct {
 	ZeroArenaLocksPerMsg float64 `json:"zerocopy_arena_locks_per_msg"`
 }
 
-// Summary measures the trajectory. quick shrinks every run to CI-smoke
-// size (same shapes, ~10x faster).
+// Summary measures the trajectory. The perf-regression gate compares
+// these numbers across runs under a 25% tolerance, so their run-to-run
+// noise is the binding constraint, not their cost: the throughput
+// sections are cheap (tens of milliseconds each) and always run at
+// full sample size, taken best-of-3 — the maximum observed throughput
+// (and minimum lock count) is a much tighter estimate of the machine's
+// capability than one draw. quick only shrinks the one expensive
+// section, the credit fairness run, whose uncredited leg deliberately
+// holds a starvation monopoly open for seconds.
 func Summary(quick bool) (*JSONSummary, error) {
-	s := &JSONSummary{Schema: 2}
+	s := &JSONSummary{Schema: 3}
+	const attempts = 3
 
 	// Contention: the PR 1 headline configuration.
 	workers := 8
 	rounds := 300
-	if quick {
-		rounds = 60
-	}
-	base, err := NativeContention(1, workers, 1, rounds, 64)
-	if err != nil {
-		return nil, fmt.Errorf("bench: summary contention: %w", err)
-	}
-	sharded, err := NativeContention(16, workers, ContentionBatch, rounds, 64)
-	if err != nil {
-		return nil, fmt.Errorf("bench: summary contention: %w", err)
-	}
 	s.Contention.Workers = workers
 	s.Contention.Batch = ContentionBatch
-	s.Contention.UnshardedMsgsPerSec = base.MsgsPerSec
-	s.Contention.ShardedBatchedMsgsPerSec = sharded.MsgsPerSec
-	if base.MsgsPerSec > 0 {
-		s.Contention.Advantage = sharded.MsgsPerSec / base.MsgsPerSec
+	for i := 0; i < attempts; i++ {
+		base, err := NativeContention(1, workers, 1, rounds, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: summary contention: %w", err)
+		}
+		sharded, err := NativeContention(16, workers, ContentionBatch, rounds, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: summary contention: %w", err)
+		}
+		s.Contention.UnshardedMsgsPerSec = max(s.Contention.UnshardedMsgsPerSec, base.MsgsPerSec)
+		s.Contention.ShardedBatchedMsgsPerSec = max(s.Contention.ShardedBatchedMsgsPerSec, sharded.MsgsPerSec)
+	}
+	if s.Contention.UnshardedMsgsPerSec > 0 {
+		s.Contention.Advantage = s.Contention.ShardedBatchedMsgsPerSec / s.Contention.UnshardedMsgsPerSec
 	}
 
 	// Selector: the PR 2 headline configuration.
 	waiters, circuits, msgs := 8, 8, 400
-	if quick {
-		msgs = 150
-	}
-	global, err := NativeSelectorHerd(MuxAnyGlobalPulse, waiters, circuits, msgs)
-	if err != nil {
-		return nil, fmt.Errorf("bench: summary selector: %w", err)
-	}
-	sel, err := NativeSelectorHerd(MuxSelector, waiters, circuits, msgs)
-	if err != nil {
-		return nil, fmt.Errorf("bench: summary selector: %w", err)
-	}
 	s.Selector.Waiters = waiters
 	s.Selector.CircuitsPerWaiter = circuits
-	s.Selector.GlobalSpuriousPerMsg = global.SpuriousPerMsg
-	s.Selector.SelectorSpuriousPerMsg = sel.SpuriousPerMsg
-	if sel.SpuriousPerMsg > 0 {
-		s.Selector.WakeupAdvantage = global.SpuriousPerMsg / sel.SpuriousPerMsg
-	} else {
-		s.Selector.WakeupAdvantage = global.SpuriousPerMsg // zero spurious: report the herd size itself
+	s.Selector.SelectorSpuriousPerMsg = -1
+	for i := 0; i < attempts; i++ {
+		global, err := NativeSelectorHerd(MuxAnyGlobalPulse, waiters, circuits, msgs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: summary selector: %w", err)
+		}
+		sel, err := NativeSelectorHerd(MuxSelector, waiters, circuits, msgs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: summary selector: %w", err)
+		}
+		s.Selector.GlobalSpuriousPerMsg = max(s.Selector.GlobalSpuriousPerMsg, global.SpuriousPerMsg)
+		if s.Selector.SelectorSpuriousPerMsg < 0 {
+			s.Selector.SelectorSpuriousPerMsg = sel.SpuriousPerMsg
+		} else {
+			s.Selector.SelectorSpuriousPerMsg = min(s.Selector.SelectorSpuriousPerMsg, sel.SpuriousPerMsg)
+		}
+		s.Selector.SelectorMsgsPerSec = max(s.Selector.SelectorMsgsPerSec, sel.MsgsPerSec)
+		s.Selector.GlobalPulseMsgsPerSec = max(s.Selector.GlobalPulseMsgsPerSec, global.MsgsPerSec)
 	}
-	s.Selector.SelectorMsgsPerSec = sel.MsgsPerSec
-	s.Selector.GlobalPulseMsgsPerSec = global.MsgsPerSec
+	// Smoothed (+1 on both sides: *total* park wakeups per delivered
+	// message, not spurious-only): the selector's spurious count is
+	// routinely exactly zero, and a raw ratio against a denominator
+	// that flickers between 0 and one stray event per run is bimodal
+	// noise no tolerance can hold.
+	s.Selector.WakeupAdvantage = (s.Selector.GlobalSpuriousPerMsg + 1) / (s.Selector.SelectorSpuriousPerMsg + 1)
 
 	// Copies: the PR 3 ablation at the gate sizes plus the fan-out point.
-	copyMsgs := 3000
-	if quick {
-		copyMsgs = 600
-	}
+	const copyMsgs = 3000
 	points := []struct{ size, fan int }{
 		{4096, 1}, {16384, 1}, {CopiesFanOutPayload, 8},
 	}
 	for _, pt := range points {
-		base, err := NativeCopies(PlaneClassicCopy, pt.size, pt.fan, copyMsgs)
-		if err != nil {
-			return nil, fmt.Errorf("bench: summary copies: %w", err)
+		cp := CopiesPoint{PayloadBytes: pt.size, FanOut: pt.fan}
+		for i := 0; i < attempts; i++ {
+			base, err := NativeCopies(PlaneClassicCopy, pt.size, pt.fan, copyMsgs)
+			if err != nil {
+				return nil, fmt.Errorf("bench: summary copies: %w", err)
+			}
+			zero, err := NativeCopies(PlaneZeroCopy, pt.size, pt.fan, copyMsgs)
+			if err != nil {
+				return nil, fmt.Errorf("bench: summary copies: %w", err)
+			}
+			cp.CopyMsgsPerSec = max(cp.CopyMsgsPerSec, base.MsgsPerSec)
+			cp.ZeroMsgsPerSec = max(cp.ZeroMsgsPerSec, zero.MsgsPerSec)
+			// Any attempt leaking a receive copy must show, so the worst
+			// attempt is recorded.
+			cp.ZeroRecvCopies = max(cp.ZeroRecvCopies, zero.Stats.PayloadCopiesOut)
+			cp.ZeroViewReceives = zero.Stats.ViewReceives
+			if i == 0 {
+				cp.CopyArenaLocksPerMsg = base.ArenaLocksPerMsg
+				cp.ZeroArenaLocksPerMsg = zero.ArenaLocksPerMsg
+			} else {
+				cp.CopyArenaLocksPerMsg = min(cp.CopyArenaLocksPerMsg, base.ArenaLocksPerMsg)
+				cp.ZeroArenaLocksPerMsg = min(cp.ZeroArenaLocksPerMsg, zero.ArenaLocksPerMsg)
+			}
 		}
-		zero, err := NativeCopies(PlaneZeroCopy, pt.size, pt.fan, copyMsgs)
-		if err != nil {
-			return nil, fmt.Errorf("bench: summary copies: %w", err)
-		}
-		cp := CopiesPoint{
-			PayloadBytes:         pt.size,
-			FanOut:               pt.fan,
-			CopyMsgsPerSec:       base.MsgsPerSec,
-			ZeroMsgsPerSec:       zero.MsgsPerSec,
-			ZeroRecvCopies:       zero.Stats.PayloadCopiesOut,
-			ZeroViewReceives:     zero.Stats.ViewReceives,
-			CopyArenaLocksPerMsg: base.ArenaLocksPerMsg,
-			ZeroArenaLocksPerMsg: zero.ArenaLocksPerMsg,
-		}
-		if base.MsgsPerSec > 0 {
-			cp.Advantage = zero.MsgsPerSec / base.MsgsPerSec
+		if cp.CopyMsgsPerSec > 0 {
+			cp.Advantage = cp.ZeroMsgsPerSec / cp.CopyMsgsPerSec
 		}
 		s.Copies = append(s.Copies, cp)
 	}
 
 	// LoanBatch: the PR 4 headline configuration.
-	lbMsgs := 3000
-	if quick {
-		lbMsgs = 600
-	}
-	perMsg, err := NativeLoanBatch(false, LoanBatchPayload, LoanBatchSize, lbMsgs)
-	if err != nil {
-		return nil, fmt.Errorf("bench: summary loanbatch: %w", err)
-	}
-	bat, err := NativeLoanBatch(true, LoanBatchPayload, LoanBatchSize, lbMsgs)
-	if err != nil {
-		return nil, fmt.Errorf("bench: summary loanbatch: %w", err)
-	}
+	const lbMsgs = 3000
 	s.LoanBatch.Batch = LoanBatchSize
 	s.LoanBatch.PayloadBytes = LoanBatchPayload
-	s.LoanBatch.PerMessageMsgsPerSec = perMsg.MsgsPerSec
-	s.LoanBatch.BatchedMsgsPerSec = bat.MsgsPerSec
-	if perMsg.MsgsPerSec > 0 {
-		s.LoanBatch.Advantage = bat.MsgsPerSec / perMsg.MsgsPerSec
+	for i := 0; i < attempts; i++ {
+		perMsg, err := NativeLoanBatch(false, LoanBatchPayload, LoanBatchSize, lbMsgs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: summary loanbatch: %w", err)
+		}
+		bat, err := NativeLoanBatch(true, LoanBatchPayload, LoanBatchSize, lbMsgs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: summary loanbatch: %w", err)
+		}
+		s.LoanBatch.PerMessageMsgsPerSec = max(s.LoanBatch.PerMessageMsgsPerSec, perMsg.MsgsPerSec)
+		s.LoanBatch.BatchedMsgsPerSec = max(s.LoanBatch.BatchedMsgsPerSec, bat.MsgsPerSec)
+		if i == 0 {
+			s.LoanBatch.PerMessageArenaLocksPerMsg = perMsg.ArenaLocksPerMsg
+			s.LoanBatch.BatchedArenaLocksPerMsg = bat.ArenaLocksPerMsg
+		} else {
+			s.LoanBatch.PerMessageArenaLocksPerMsg = min(s.LoanBatch.PerMessageArenaLocksPerMsg, perMsg.ArenaLocksPerMsg)
+			s.LoanBatch.BatchedArenaLocksPerMsg = min(s.LoanBatch.BatchedArenaLocksPerMsg, bat.ArenaLocksPerMsg)
+		}
 	}
-	s.LoanBatch.PerMessageArenaLocksPerMsg = perMsg.ArenaLocksPerMsg
-	s.LoanBatch.BatchedArenaLocksPerMsg = bat.ArenaLocksPerMsg
-	if bat.ArenaLocksPerMsg > 0 {
-		s.LoanBatch.LockAmortisation = perMsg.ArenaLocksPerMsg / bat.ArenaLocksPerMsg
+	if s.LoanBatch.PerMessageMsgsPerSec > 0 {
+		s.LoanBatch.Advantage = s.LoanBatch.BatchedMsgsPerSec / s.LoanBatch.PerMessageMsgsPerSec
 	}
+	if s.LoanBatch.BatchedArenaLocksPerMsg > 0 {
+		s.LoanBatch.LockAmortisation = s.LoanBatch.PerMessageArenaLocksPerMsg / s.LoanBatch.BatchedArenaLocksPerMsg
+	}
+
+	// Credit: the PR 5 fairness headline. The uncredited run is slow by
+	// construction — the hot monopoly it measures starves cold sends
+	// for seconds — so the sample counts stay modest.
+	coldMsgs := 200
+	if quick {
+		coldMsgs = 40
+	}
+	uncredited, err := NativeCreditFairness(0, CreditFairnessCircuits, coldMsgs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: summary credit: %w", err)
+	}
+	credited, err := NativeCreditFairness(CreditFairnessBudget, CreditFairnessCircuits, coldMsgs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: summary credit: %w", err)
+	}
+	s.Credit.Circuits = CreditFairnessCircuits
+	s.Credit.Budget = CreditFairnessBudget
+	s.Credit.UncreditedColdP99Micros = float64(uncredited.ColdP99) / float64(time.Microsecond)
+	s.Credit.CreditedColdP99Micros = float64(credited.ColdP99) / float64(time.Microsecond)
+	if credited.ColdP99 > 0 {
+		s.Credit.FairnessAdvantage = float64(uncredited.ColdP99) / float64(credited.ColdP99)
+	}
+	s.Credit.CreditedHotMsgsPerSec = credited.HotMsgsPerSec
+	s.Credit.CreditStalls = credited.Stats.CreditStalls
 	return s, nil
 }
 
@@ -195,4 +267,19 @@ func (s *JSONSummary) Write(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadSummary loads a BENCH.json previously produced by Write — the
+// perf-regression job's input (the previous run's artifact, or the
+// committed BENCH_BASELINE.json seed).
+func ReadSummary(path string) (*JSONSummary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &JSONSummary{}
+	if err := json.Unmarshal(b, s); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return s, nil
 }

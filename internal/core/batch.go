@@ -55,12 +55,26 @@ func (f *Facility) sendBatch(pid int, id ID, bufs [][]byte, total int) error {
 	}
 	// Fail fast before the (possibly blocking) allocation, then recheck
 	// under the lock after it, exactly as the single-message send does.
-	l.lock.Lock()
-	if f.slots[id].Load() != l || l.sends[pid] == nil {
+	// With credit configured the whole batch's demand is debited in one
+	// acquisition — batch-level admission, mirroring the batch's single
+	// arena transaction below — and the connection check rides along
+	// with the debit.
+	var creditGen uint64
+	creditBlocks := 0
+	if f.cfg.CreditBlocks > 0 && len(bufs) > 0 {
+		creditBlocks = blocks
+		var err error
+		if creditGen, err = f.acquireCredit(l, id, pid, creditBlocks); err != nil {
+			return err
+		}
+	} else {
+		l.lock.Lock()
+		if f.slots[id].Load() != l || l.sends[pid] == nil {
+			l.lock.Unlock()
+			return fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
+		}
 		l.lock.Unlock()
-		return fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
 	}
-	l.lock.Unlock()
 	if len(bufs) == 0 {
 		return nil
 	}
@@ -69,6 +83,7 @@ func (f *Facility) sendBatch(pid int, id ID, bufs [][]byte, total int) error {
 	// blocks happen outside the LNVC lock.
 	msgs, buildErr := f.pool.BuildBatch(pid, bufs, f.cfg.SendPolicy == BlockUntilFree, f.stop)
 	if buildErr != nil {
+		f.refundCredit(l, creditGen, creditBlocks)
 		if f.stopped.Load() {
 			return ErrShutdown
 		}
@@ -84,6 +99,7 @@ func (f *Facility) sendBatch(pid int, id ID, bufs [][]byte, total int) error {
 		for _, m := range msgs {
 			f.pool.Release(m)
 		}
+		f.refundCredit(l, creditGen, creditBlocks)
 		return fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
 	}
 	for _, m := range msgs {

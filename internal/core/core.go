@@ -154,6 +154,17 @@ type Config struct {
 	RegistryShards int
 	// SendPolicy selects Send's behaviour on pool exhaustion.
 	SendPolicy SendPolicy
+	// CreditBlocks, when positive, enables per-circuit credit-based
+	// flow control: every circuit carries a receiver-granted budget of
+	// this many accounted blocks (Arena.BlocksFor units), debited by
+	// the send-side primitives at allocation time and re-granted as
+	// receivers release the blocks. A send that would overdraw the
+	// budget parks on the circuit's credit waiter list (BlockUntilFree)
+	// or fails with ErrNoCredit (FailFast), so one hot circuit can no
+	// longer monopolise the region and starve its tenants. Zero (the
+	// default) disables the ledger entirely: the send paths are exactly
+	// the uncredited ones. See credit.go and DESIGN.md §13.
+	CreditBlocks int
 	// ClassicChains reverts the shared region to the paper's allocation
 	// layout: every block is its own chain element behind a linked free
 	// list, so multi-block payloads are always fragmented. The default
@@ -244,6 +255,16 @@ type Stats struct {
 	// stay separately observable (mpfbench -loanbatch compares them).
 	LoanBatchSends uint64
 	HarvestedViews uint64
+	// The credit ledger (Config.CreditBlocks). CreditStalls counts
+	// send-side parks for circuit credit — each is a send the budget
+	// made wait that the uncredited facility would have admitted
+	// straight into the arena. CreditsHeld is a gauge: the accounted
+	// blocks currently debited across all live circuits; it returns to
+	// zero at quiescence (every message reclaimed, every loan
+	// resolved), which is the ledger invariant the protocol fuzzer
+	// asserts.
+	CreditStalls uint64
+	CreditsHeld  uint64
 }
 
 type statsCell struct {
@@ -265,6 +286,8 @@ type statsCell struct {
 	viewReceives          atomic.Uint64
 	loanBatchSends        atomic.Uint64
 	harvestedViews        atomic.Uint64
+	creditStalls          atomic.Uint64
+	creditsHeld           atomic.Int64 // gauge: debits minus grants
 }
 
 func (s *statsCell) snapshot() Stats {
@@ -286,7 +309,19 @@ func (s *statsCell) snapshot() Stats {
 		ViewReceives:     s.viewReceives.Load(),
 		LoanBatchSends:   s.loanBatchSends.Load(),
 		HarvestedViews:   s.harvestedViews.Load(),
+		CreditStalls:     s.creditStalls.Load(),
+		CreditsHeld:      clampGauge(s.creditsHeld.Load()),
 	}
+}
+
+// clampGauge floors a torn gauge read at zero: concurrent debits and
+// grants can transiently be observed out of order, but the gauge is
+// never semantically negative.
+func clampGauge(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
 }
 
 // Facility is one MPF instance: the shared region, descriptor tables and

@@ -40,6 +40,19 @@ import (
 // and *holds* them like op 6's, so harvested views ride across
 // receiver churn and close too. FailFast keeps pool exhaustion from
 // blocking the fuzzer — a refused send is simply not recorded.
+//
+// The facility runs under credit flow control (CreditBlocks = 12 of
+// the region), so every op above doubles as a credit op: sends debit
+// the budget (a send the budget refuses surfaces as ErrNoCredit and is
+// dropped exactly like a pool-refused one), receives/releases/reclaim
+// grant it back, and the held views keep debits pinned across churn.
+// Op 12 adds the pure debit/refund cycle — a loan acquired and
+// immediately aborted — and op 13 asserts the mid-run ledger bound:
+// the circuit's debits never exceed the budget and always equal the
+// facility-wide CreditsHeld gauge. The final drain asserts the
+// quiescence invariant: credits held plus credits free equal the
+// configured budget (i.e. the ledger and gauge are exactly zero once
+// every message is reclaimed and every view released).
 func FuzzProtocolInvariants(f *testing.F) {
 	// Seed corpus: a quiet round-trip, a saturating burst then drain,
 	// receiver churn around a burst, interleaved chatter, the
@@ -57,16 +70,20 @@ func FuzzProtocolInvariants(f *testing.F) {
 	f.Add([]byte{8, 11, 1, 1, 3, 3, 4, 4, 4, 1, 7, 7})
 	f.Add([]byte{9, 10, 8, 5, 11, 2, 9, 5, 11, 7, 7, 1, 1, 1, 1})
 	f.Add([]byte{8, 8, 11, 11, 11, 5, 7, 2, 7, 7, 10, 9, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{12, 13, 0, 12, 8, 13, 6, 6, 13, 12, 7, 7, 1, 1, 1, 1, 3, 3, 4, 4})
+	f.Add([]byte{0, 0, 0, 0, 8, 8, 13, 12, 9, 13, 6, 5, 13, 1, 1, 1, 7, 13})
 
 	f.Fuzz(func(t *testing.T, script []byte) {
 		if len(script) > 4096 {
 			t.Skip("script longer than useful")
 		}
+		const creditBudget = 12
 		fac, err := Init(Config{
 			MaxLNVCs:         4,
 			MaxProcesses:     5,
 			BlocksPerProcess: 16,
 			SendPolicy:       FailFast,
+			CreditBlocks:     creditBudget,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -147,8 +164,8 @@ func FuzzProtocolInvariants(f *testing.F) {
 			binary.BigEndian.PutUint64(payload, nextSeq)
 			if viaLoan {
 				ln, err := fac.SendLoan(0, sid, 8)
-				if errors.Is(err, ErrNoMemory) {
-					return // pool full: drop the stamp, receivers catch up
+				if errors.Is(err, ErrNoMemory) || errors.Is(err, ErrNoCredit) {
+					return // pool full or budget spent: drop the stamp, receivers catch up
 				}
 				if err != nil {
 					t.Fatalf("loan %d: %v", nextSeq, err)
@@ -161,7 +178,7 @@ func FuzzProtocolInvariants(f *testing.F) {
 				}
 			} else {
 				err := fac.Send(0, sid, payload)
-				if errors.Is(err, ErrNoMemory) {
+				if errors.Is(err, ErrNoMemory) || errors.Is(err, ErrNoCredit) {
 					return
 				}
 				if err != nil {
@@ -253,8 +270,8 @@ func FuzzProtocolInvariants(f *testing.F) {
 				ns[j] = 8
 			}
 			lb, err := fac.LoanBatch(0, sid, ns)
-			if errors.Is(err, ErrNoMemory) {
-				return // pool full: drop the batch, receivers catch up
+			if errors.Is(err, ErrNoMemory) || errors.Is(err, ErrNoCredit) {
+				return // pool full or budget spent: drop the batch, receivers catch up
 			}
 			if err != nil {
 				t.Fatalf("loan batch: %v", err)
@@ -311,6 +328,38 @@ func FuzzProtocolInvariants(f *testing.F) {
 			}
 		}
 
+		// loanAbort is the pure credit debit/refund cycle: a loan
+		// acquired (budget debited at allocation) and aborted (the
+		// never-enqueued demand refunded) with no message traffic.
+		loanAbort := func() {
+			ln, err := fac.SendLoan(0, sid, 8)
+			if errors.Is(err, ErrNoMemory) || errors.Is(err, ErrNoCredit) {
+				return
+			}
+			if err != nil {
+				t.Fatalf("credit loan: %v", err)
+			}
+			ln.Abort()
+		}
+		// checkLedger asserts the mid-run credit bound: the circuit's
+		// debits never exceed the budget and, with one credited circuit
+		// in the facility, always equal the CreditsHeld gauge.
+		checkLedger := func() {
+			info, err := fac.LNVCInfo(sid)
+			if err != nil {
+				t.Fatalf("credit ledger info: %v", err)
+			}
+			if info.CreditCap != creditBudget {
+				t.Fatalf("ledger cap %d, want %d", info.CreditCap, creditBudget)
+			}
+			if info.CreditUsed < 0 || info.CreditUsed > creditBudget {
+				t.Fatalf("ledger overdrawn: %d of %d blocks debited", info.CreditUsed, creditBudget)
+			}
+			if held := fac.Stats().CreditsHeld; held != uint64(info.CreditUsed) {
+				t.Fatalf("gauge disagrees with ledger: held %d, circuit debits %d", held, info.CreditUsed)
+			}
+		}
+
 		for _, op := range script {
 			viaZC := op&0x80 != 0
 			switch int(op&0x7f) % 16 {
@@ -353,8 +402,12 @@ func FuzzProtocolInvariants(f *testing.F) {
 				batchSend(2, -1) // AbortAll
 			case 11:
 				harvestViews()
+			case 12:
+				loanAbort()
+			case 13:
+				checkLedger()
 			default:
-				// 12-15 reserved; treated as no-ops so future ops can
+				// 14-15 reserved; treated as no-ops so future ops can
 				// claim them without invalidating today's corpus.
 			}
 		}
@@ -409,6 +462,15 @@ func FuzzProtocolInvariants(f *testing.F) {
 		}
 		if free, total := fac.Arena().FreeBlocks(), fac.Arena().NumBlocks(); free != total {
 			t.Fatalf("block leak after drain: %d of %d free", free, total)
+		}
+		// The credit quiescence invariant: with every message reclaimed
+		// and every loan resolved, credits held + credits free == the
+		// configured budget — i.e. the ledger and the gauge are zero.
+		if info.CreditUsed != 0 {
+			t.Fatalf("credit leak after drain: %d of %d budget blocks still debited", info.CreditUsed, creditBudget)
+		}
+		if held := fac.Stats().CreditsHeld; held != 0 {
+			t.Fatalf("credit gauge leak after drain: %d blocks still held", held)
 		}
 	})
 }

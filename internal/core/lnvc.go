@@ -58,6 +58,14 @@ type lnvc struct {
 	waiters []*muxWaiter
 	gen     uint64
 
+	// The credit ledger (credit.go). creditUsed is the number of
+	// accounted blocks debited by senders and not yet re-granted;
+	// creditWaiters are the senders parked until the budget can cover
+	// them. Both guarded by lock; both meaningful only when
+	// Config.CreditBlocks > 0.
+	creditUsed    int32
+	creditWaiters []*creditWaiter
+
 	// descriptor free lists, per paper §3.1 ("Like message blocks, LNVC,
 	// send, and receive descriptors are linked into free lists when not
 	// in use").
@@ -93,6 +101,12 @@ func (l *lnvc) reset(name string, id ID) {
 	// names this descriptor.
 	clear(l.waiters)
 	l.waiters = l.waiters[:0]
+	// Credit state died with the previous circuit (the close path's
+	// deletion branch zeroed the ledger and woke the waiters, who
+	// unregister by identity); the fresh incarnation starts unencumbered.
+	l.creditUsed = 0
+	clear(l.creditWaiters)
+	l.creditWaiters = l.creditWaiters[:0]
 	l.gen++
 }
 
@@ -307,11 +321,13 @@ func (f *Facility) close(pid int, id ID, detach func(*lnvc) error) error {
 	err = detach(l)
 	if err == nil {
 		// A Receive parked on the condition variable, a ReceiveAny
-		// parked on the waiter list, or a Selector.Wait must observe a
-		// closed connection promptly — never hang until an unrelated
-		// send happens by (they re-validate the connection on wake).
+		// parked on the waiter list, a Selector.Wait, or a sender parked
+		// for credit must observe a closed connection promptly — never
+		// hang until an unrelated send happens by (they re-validate the
+		// connection on wake).
 		l.cond.Broadcast()
 		l.wakeWaitersLocked()
+		l.wakeCreditWaitersLocked()
 	}
 	var drop []*msg.Message
 	dropped := 0
@@ -331,6 +347,11 @@ func (f *Facility) close(pid int, id ID, detach func(*lnvc) error) error {
 			return true
 		})
 		l.queue = msg.Queue{}
+		// The ledger dies with the circuit: outstanding debits —
+		// dropped unread messages, orphans passing to their pin
+		// holders, loans still out — return to the facility gauge here
+		// (late loan refunds are rejected by the generation check).
+		f.dropLedgerLocked(l)
 	}
 	l.lock.Unlock()
 	if err != nil {
@@ -380,18 +401,32 @@ func (f *Facility) send(pid int, id ID, buf []byte) error {
 	}
 	// Connection check is done before the (possibly blocking) copy so an
 	// unconnected sender fails fast, and rechecked after under the lock.
-	l.lock.Lock()
-	if f.slots[id].Load() != l || l.sends[pid] == nil {
+	// With credit configured the check rides along with the debit, which
+	// parks here (not holding any lock) until the budget can cover the
+	// message.
+	var creditGen uint64
+	creditBlocks := 0
+	if f.cfg.CreditBlocks > 0 {
+		creditBlocks = f.arena.BlocksFor(len(buf))
+		var err error
+		if creditGen, err = f.acquireCredit(l, id, pid, creditBlocks); err != nil {
+			return err
+		}
+	} else {
+		l.lock.Lock()
+		if f.slots[id].Load() != l || l.sends[pid] == nil {
+			l.lock.Unlock()
+			return fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
+		}
 		l.lock.Unlock()
-		return fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
 	}
-	l.lock.Unlock()
 
 	// First copy: user buffer into message blocks. This happens outside
 	// the LNVC lock, which is what lets BROADCAST receivers and other
 	// senders proceed concurrently (the concurrency Figure 5 measures).
 	m, buildErr := f.pool.Build(pid, buf, f.cfg.SendPolicy == BlockUntilFree, f.stop)
 	if buildErr != nil {
+		f.refundCredit(l, creditGen, creditBlocks)
 		if f.stopped.Load() {
 			return ErrShutdown
 		}
@@ -405,6 +440,7 @@ func (f *Facility) send(pid int, id ID, buf []byte) error {
 	if f.slots[id].Load() != l || l.sends[pid] == nil {
 		l.lock.Unlock()
 		f.pool.Release(m)
+		f.refundCredit(l, creditGen, creditBlocks)
 		return fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
 	}
 	m.Pending = l.nBcast
@@ -735,10 +771,16 @@ func (f *Facility) reclaimLocked(l *lnvc) {
 	if len(victims) > 0 {
 		var msgsBuf [16]*msg.Message
 		ms := msgsBuf[:0]
+		granted := 0
 		for _, v := range victims {
 			ms = append(ms, v.m)
+			granted += v.m.Blocks
 		}
 		f.pool.ReleaseBatch(ms)
+		// The victims' blocks are back in the region: return their
+		// accounted demand to the circuit's credit budget and wake any
+		// senders parked for it — one grant for the whole scan.
+		f.grantCreditLocked(l, granted)
 	}
 }
 
@@ -755,6 +797,13 @@ type Info struct {
 	SenderPIDs    []int
 	ReceiverPIDs  []int
 	ReceiverProto map[int]Protocol
+	// The credit ledger: CreditCap is the configured per-circuit budget
+	// (Config.CreditBlocks; 0 = flow control off) and CreditUsed the
+	// accounted blocks currently debited against it. At quiescence —
+	// every message reclaimed, every loan resolved — CreditUsed is 0:
+	// credits held plus credits free equal the budget.
+	CreditCap  int
+	CreditUsed int
 }
 
 // LNVCInfo returns a snapshot of the LNVC's descriptor state.
@@ -780,6 +829,8 @@ func (f *Facility) LNVCInfo(id ID) (Info, error) {
 		FCFSHeadSeq:   l.fcfsHeadSeq,
 		NextSeq:       l.queue.NextSeq(),
 		ReceiverProto: make(map[int]Protocol, len(l.recvs)),
+		CreditCap:     f.cfg.CreditBlocks,
+		CreditUsed:    int(l.creditUsed),
 	}
 	for pid := range l.sends {
 		info.SenderPIDs = append(info.SenderPIDs, pid)

@@ -38,6 +38,12 @@ type LoanBatch struct {
 	ns    []int
 	total int
 	done  bool
+	// The batch's credit debit — the whole demand in one acquisition,
+	// mirroring the single arena transaction. CommitN returns the
+	// aborted tail's share; AbortAll and a lost circuit return it all.
+	// creditGen pins refunds to the debited descriptor incarnation.
+	creditGen    uint64
+	creditBlocks int
 }
 
 // LoanBatch allocates blocks for one message per length in ns — all in
@@ -81,16 +87,29 @@ func (f *Facility) loanBatch(pid int, id ID, ns []int) (*LoanBatch, error) {
 		return nil, err
 	}
 	// Fail fast before the (possibly blocking) allocation; CommitAll
-	// re-validates under the lock, exactly as sendBatch does.
-	l.lock.Lock()
-	if f.slots[id].Load() != l || l.sends[pid] == nil {
+	// re-validates under the lock, exactly as sendBatch does. With
+	// credit configured the whole batch's demand is debited in one
+	// acquisition, and the check rides along with it.
+	var creditGen uint64
+	creditBlocks := 0
+	if f.cfg.CreditBlocks > 0 && len(ns) > 0 {
+		creditBlocks = blocks
+		var err error
+		if creditGen, err = f.acquireCredit(l, id, pid, creditBlocks); err != nil {
+			return nil, err
+		}
+	} else {
+		l.lock.Lock()
+		if f.slots[id].Load() != l || l.sends[pid] == nil {
+			l.lock.Unlock()
+			return nil, fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
+		}
 		l.lock.Unlock()
-		return nil, fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
 	}
-	l.lock.Unlock()
 
 	msgs, buildErr := f.pool.BuildLoanBatch(pid, ns, f.cfg.SendPolicy == BlockUntilFree, f.stop)
 	if buildErr != nil {
+		f.refundCredit(l, creditGen, creditBlocks)
 		if f.stopped.Load() {
 			return nil, ErrShutdown
 		}
@@ -98,7 +117,8 @@ func (f *Facility) loanBatch(pid int, id ID, ns []int) (*LoanBatch, error) {
 	}
 	nsCopy := make([]int, len(ns))
 	copy(nsCopy, ns)
-	return &LoanBatch{f: f, l: l, id: id, pid: pid, msgs: msgs, ns: nsCopy, total: total}, nil
+	return &LoanBatch{f: f, l: l, id: id, pid: pid, msgs: msgs, ns: nsCopy, total: total,
+		creditGen: creditGen, creditBlocks: creditBlocks}, nil
 }
 
 // Len returns the number of loans in the batch.
@@ -179,6 +199,7 @@ func (b *LoanBatch) commit(n int) (int, error) {
 	f, l := b.f, b.l
 	if f.stopped.Load() {
 		f.pool.ReleaseBatch(b.msgs)
+		f.refundCredit(l, b.creditGen, b.creditBlocks)
 		return 0, ErrShutdown
 	}
 	total := 0
@@ -192,6 +213,7 @@ func (b *LoanBatch) commit(n int) (int, error) {
 	if f.slots[b.id].Load() != l || l.sends[b.pid] == nil {
 		l.lock.Unlock()
 		f.pool.ReleaseBatch(b.msgs)
+		f.refundCredit(l, b.creditGen, b.creditBlocks)
 		return 0, fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, b.id, b.pid)
 	}
 	for _, m := range b.msgs[:n] {
@@ -202,6 +224,17 @@ func (b *LoanBatch) commit(n int) (int, error) {
 	if n > 0 {
 		l.cond.Broadcast() // one wakeup for the whole batch
 		l.wakeWaitersLocked()
+	}
+	if b.creditBlocks > 0 && n < len(b.ns) && l.gen == b.creditGen {
+		// The aborted tail's blocks go back to the region below; its
+		// accounted demand goes back to the budget here, under the same
+		// lock hold that committed the prefix (the CommitN partial-abort
+		// restore).
+		tail := 0
+		for _, sz := range b.ns[n:] {
+			tail += f.arena.BlocksFor(sz)
+		}
+		f.grantCreditLocked(l, tail)
 	}
 	l.lock.Unlock()
 	if n > 0 && f.cfg.GlobalPulseMux {
@@ -224,4 +257,5 @@ func (b *LoanBatch) AbortAll() {
 	}
 	b.done = true
 	b.f.pool.ReleaseBatch(b.msgs)
+	b.f.refundCredit(b.l, b.creditGen, b.creditBlocks)
 }

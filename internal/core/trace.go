@@ -22,6 +22,11 @@ const (
 	OpLoanBatch
 	OpLoanBatchCommit
 	OpHarvestViews
+	// OpCreditStall records a send-side park for circuit credit: the
+	// budget could not cover the message and the sender waited for a
+	// receiver-side grant. Bytes carries the parked demand in region
+	// bytes (accounted blocks times the block size).
+	OpCreditStall
 )
 
 var opNames = [...]string{
@@ -42,6 +47,7 @@ var opNames = [...]string{
 	OpLoanBatch:       "loan_batch_acquire",
 	OpLoanBatchCommit: "message_send_loan_batch",
 	OpHarvestViews:    "harvest_views",
+	OpCreditStall:     "credit_stall",
 }
 
 // String returns the paper's name for the primitive.

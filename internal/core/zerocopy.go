@@ -49,6 +49,11 @@ type Loan struct {
 	// m again once done is set.
 	n    int
 	done bool
+	// The loan's credit debit, refunded if the message never reaches a
+	// FIFO (abort, lost circuit, shutdown). creditGen pins the refund
+	// to the descriptor incarnation that was debited.
+	creditGen    uint64
+	creditBlocks int
 }
 
 // SendLoan allocates blocks for n payload bytes on the LNVC and returns
@@ -80,21 +85,34 @@ func (f *Facility) sendLoan(pid int, id ID, n int) (*Loan, error) {
 	}
 	// Fail fast before the (possibly blocking) allocation; Commit
 	// re-validates under the lock, exactly as send does around its copy.
-	l.lock.Lock()
-	if f.slots[id].Load() != l || l.sends[pid] == nil {
+	// With credit configured the check rides along with the debit.
+	var creditGen uint64
+	creditBlocks := 0
+	if f.cfg.CreditBlocks > 0 {
+		creditBlocks = f.arena.BlocksFor(n)
+		var err error
+		if creditGen, err = f.acquireCredit(l, id, pid, creditBlocks); err != nil {
+			return nil, err
+		}
+	} else {
+		l.lock.Lock()
+		if f.slots[id].Load() != l || l.sends[pid] == nil {
+			l.lock.Unlock()
+			return nil, fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
+		}
 		l.lock.Unlock()
-		return nil, fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, id, pid)
 	}
-	l.lock.Unlock()
 
 	m, buildErr := f.pool.BuildLoan(pid, n, f.cfg.SendPolicy == BlockUntilFree, f.stop)
 	if buildErr != nil {
+		f.refundCredit(l, creditGen, creditBlocks)
 		if f.stopped.Load() {
 			return nil, ErrShutdown
 		}
 		return nil, fmt.Errorf("%w: %v", ErrNoMemory, buildErr)
 	}
-	return &Loan{f: f, l: l, id: id, pid: pid, m: m, n: n}, nil
+	return &Loan{f: f, l: l, id: id, pid: pid, m: m, n: n,
+		creditGen: creditGen, creditBlocks: creditBlocks}, nil
 }
 
 // Len returns the loan's payload capacity in bytes.
@@ -146,6 +164,7 @@ func (ln *Loan) commit() error {
 	if f.stopped.Load() {
 		ln.done = true
 		f.pool.Release(ln.m)
+		f.refundCredit(l, ln.creditGen, ln.creditBlocks)
 		return ErrShutdown
 	}
 	l.lock.Lock()
@@ -156,6 +175,7 @@ func (ln *Loan) commit() error {
 		l.lock.Unlock()
 		ln.done = true
 		f.pool.Release(ln.m)
+		f.refundCredit(l, ln.creditGen, ln.creditBlocks)
 		return fmt.Errorf("%w: send on id %d by process %d", ErrNotConnected, ln.id, ln.pid)
 	}
 	ln.m.Pending = l.nBcast
@@ -184,6 +204,7 @@ func (ln *Loan) Abort() {
 	}
 	ln.done = true
 	ln.f.pool.Release(ln.m)
+	ln.f.refundCredit(ln.l, ln.creditGen, ln.creditBlocks)
 }
 
 // View is a pinned zero-copy window onto a received message's payload,

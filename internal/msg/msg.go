@@ -45,6 +45,13 @@ type Message struct {
 	// outstanding. Both are manipulated under the LNVC lock.
 	Pending    int
 	FCFSNeeded bool
+	// Blocks is the message's accounted block demand — Arena.BlocksFor
+	// of the payload length, recorded at build time. It is the unit the
+	// credit ledger debits at allocation and re-grants at reclamation
+	// (core's flow control), chosen to match the worst-case demand the
+	// capacity checks already use so that debit and grant can never
+	// disagree about a message's cost.
+	Blocks int
 	// Pins counts receivers currently reading the payload outside the
 	// LNVC lock — a transient copy (Extract) or a held zero-copy View.
 	// A pinned message must not be reclaimed: broadcast receivers
@@ -113,6 +120,7 @@ func (p *Pool) BuildLoan(sender, n int, wait bool, stop <-chan struct{}) (*Messa
 	m.Head = head
 	m.Tail = tail
 	m.Sender = sender
+	m.Blocks = p.arena.BlocksFor(n)
 	return m, nil
 }
 
@@ -137,6 +145,7 @@ func (p *Pool) BuildLoanBatch(sender int, ns []int, wait bool, stop <-chan struc
 		m.Head = heads[i]
 		m.Tail = tails[i]
 		m.Sender = sender
+		m.Blocks = p.arena.BlocksFor(n)
 		msgs[i] = m
 	}
 	return msgs, nil
@@ -175,6 +184,7 @@ func (p *Pool) BuildBatch(sender int, bufs [][]byte, wait bool, stop <-chan stru
 		m.Head = heads[i]
 		m.Tail = tails[i]
 		m.Sender = sender
+		m.Blocks = p.arena.BlocksFor(len(buf))
 		msgs[i] = m
 	}
 	return msgs, nil

@@ -110,6 +110,7 @@ var (
 	ErrNotConnected  = core.ErrNotConnected
 	ErrAlreadyOpen   = core.ErrAlreadyOpen
 	ErrNoMemory      = core.ErrNoMemory
+	ErrNoCredit      = core.ErrNoCredit
 	ErrShutdown      = core.ErrShutdown
 	ErrMessageTooBig = core.ErrMessageTooBig
 	ErrTimeout       = core.ErrTimeout
@@ -146,6 +147,24 @@ func WithRegistryShards(n int) Option { return func(c *core.Config) { c.Registry
 // WithFailFastSend makes Send return ErrNoMemory when the region is
 // exhausted instead of blocking until blocks are recycled.
 func WithFailFastSend() Option { return func(c *core.Config) { c.SendPolicy = core.FailFast } }
+
+// WithCredit enables per-circuit credit-based flow control: every
+// circuit carries a receiver-granted budget of n accounted blocks (the
+// same worst-case BlocksFor unit the capacity checks use), debited by
+// Send/SendBatch/Loan/LoanBatch at allocation time and re-granted as
+// receivers release the blocks (receives, view releases, reclamation).
+// A send that would overdraw the budget waits for a grant — or, with
+// WithFailFastSend, returns ErrNoCredit — so one hot circuit can no
+// longer monopolise the shared region and starve every other tenant
+// the way plain block-pool exhaustion lets it (mpfbench -credit
+// measures the difference). A single message or batch whose demand
+// exceeds the whole budget fails with ErrNoCredit under either policy,
+// and a sender parked for credit when the circuit's last receiver
+// departs fails with ErrNotConnected rather than parking forever.
+// Zero (the default) leaves flow control off: the send paths are
+// exactly the uncredited ones. Stats reports CreditStalls and
+// CreditsHeld; see DESIGN.md §13.
+func WithCredit(n int) Option { return func(c *core.Config) { c.CreditBlocks = n } }
 
 // WithClassicChains reverts the shared region to the paper's exact
 // allocation layout: a linked free list of individual blocks, so every
