@@ -5,7 +5,7 @@
 //	mpfbench [-fig N] [-mode simulated|native|both] [-quick]
 //	mpfbench -contention [-quick]
 //	mpfbench -select [-quick]
-//	mpfbench -copies [-quick]
+//	mpfbench -copies [-xproc] [-quick]
 //	mpfbench -loanbatch [-quick]
 //	mpfbench -credit [-quick]
 //	mpfbench -json BENCH.json [-quick]
@@ -30,7 +30,11 @@
 // -copies runs the copy ablation: delivered throughput across payload
 // sizes and BROADCAST fan-out for the paper plane (classic chains, two
 // structural copies), the span-allocated copy plane, and the zero-copy
-// plane (loans in, views out).
+// plane (loans in, views out). With -xproc it appends the same-machine
+// cross-process leg: the zero-copy protocol driven through a shared
+// memfd segment to real forked child processes (mpfbench re-execs
+// itself as the workers), with the serving side's futex waiter
+// counters per message alongside the throughput.
 //
 // -loanbatch runs the batched zero-copy ablation: delivered throughput
 // and arena lock acquisitions per message versus batch size for the
@@ -43,9 +47,9 @@
 // behaviour) on an 8-circuit hot/cold mix.
 //
 // -json measures the machine-readable performance trajectory — the
-// contention, selector, copies, loan-batch and credit headlines — and
-// writes it to the given path (default BENCH.json); CI uploads the
-// file as an artifact.
+// contention, selector, copies, loan-batch, credit and cross-process
+// headlines — and writes it to the given path (default BENCH.json); CI
+// uploads the file as an artifact.
 //
 // -compare loads two BENCH.json files (previous/baseline, then fresh),
 // prints a markdown delta table over every headline metric present in
@@ -59,6 +63,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -67,9 +72,42 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/stats"
+	"repro/mpf"
 )
 
+// xprocChild runs the cross-process worker when the benchmark re-execs
+// this binary: attach to the parent's segment over the inherited
+// socket, serve the loan/view protocol, exit. Checked before flag
+// parsing — a worker must never interpret the parent's flags.
+func xprocChild() {
+	cl, err := mpf.AttachProc()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpfbench worker: attach: %v\n", err)
+		os.Exit(1)
+	}
+	if err := cl.Serve(); err != nil {
+		fmt.Fprintf(os.Stderr, "mpfbench worker: %v\n", err)
+		os.Exit(1)
+	}
+	if err := cl.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "mpfbench worker: unmap: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
+	if os.Getenv("MPFBENCH_XPROC_CHILD") != "" {
+		xprocChild()
+		return
+	}
+	// Any invocation may reach the cross-process leg (-json measures it,
+	// -copies -xproc sweeps it): teach the bench package to re-exec this
+	// binary in worker mode.
+	if bin, err := os.Executable(); err == nil {
+		bench.XProcSpawnSelf = func() (string, []string) {
+			return bin, []string{"MPFBENCH_XPROC_CHILD=1"}
+		}
+	}
 	figFlag := flag.String("fig", "all", "figure to regenerate: 3..8 or 'all'")
 	modeFlag := flag.String("mode", "simulated", "substrate: simulated, native or both")
 	quick := flag.Bool("quick", false, "smaller sweeps (≈10× faster, same shapes)")
@@ -77,6 +115,7 @@ func main() {
 	contention := flag.Bool("contention", false, "contention-scaling benchmark: sharded registry + batched sends vs the paper's single lock")
 	sel := flag.Bool("select", false, "selector-scaling benchmark: per-circuit wakeups vs the global activity pulse")
 	copies := flag.Bool("copies", false, "copy ablation: paper plane vs span copy plane vs zero-copy loan/view plane")
+	xproc := flag.Bool("xproc", false, "with -copies, add the same-machine cross-process leg: zero-copy loan/view through a shared memfd segment to forked child processes")
 	loanbatch := flag.Bool("loanbatch", false, "batched zero-copy ablation: LoanBatch/WaitViews pipeline vs the per-message loan/view plane")
 	credit := flag.Bool("credit", false, "flow-control fairness ablation: cold-circuit latency and hot throughput vs per-circuit credit budget")
 	jsonOut := flag.String("json", "", "measure the perf trajectory and write it as JSON to this path (use BENCH.json for the CI artifact)")
@@ -161,6 +200,12 @@ func main() {
 		fmt.Printf(", loanbatch %.1fx throughput / %.1fx lock amortisation",
 			summary.LoanBatch.Advantage, summary.LoanBatch.LockAmortisation)
 		fmt.Printf(", credit %.1fx cold-p99 fairness", summary.Credit.FairnessAdvantage)
+		if summary.XProc.Supported {
+			fmt.Printf(", xproc %.0f msgs/s / %.1f polls+1/msg",
+				summary.XProc.MsgsPerSec, summary.XProc.SpinPollsPerMsgPlus1)
+		} else {
+			fmt.Print(", xproc unsupported")
+		}
 		fmt.Println(")")
 		return
 	}
@@ -173,6 +218,18 @@ func main() {
 		}
 		fmt.Println(bySize.Render())
 		fmt.Println(byFanout.Render())
+		if *xproc {
+			table, err := bench.XProcSweep(*quick)
+			if err != nil {
+				if errors.Is(err, mpf.ErrNoSharedBackend) {
+					fmt.Println("cross-process leg: no shared segment backend on this platform; skipped")
+					return
+				}
+				fmt.Fprintf(os.Stderr, "mpfbench: xproc: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(table)
+		}
 		return
 	}
 

@@ -21,7 +21,7 @@ import (
 // differences within a schema (a baseline that measured fewer copies
 // points, say) degrade gracefully: metrics only one side has are
 // simply unheld. The CI artifact name carries the schema
-// (bench-json-v3), so the gate never even downloads a stale-schema
+// (bench-json-v4), so the gate never even downloads a stale-schema
 // baseline; a schema bump's first run falls back to the committed
 // seed.
 
@@ -82,6 +82,23 @@ func (s *JSONSummary) metrics() []metric {
 		metric{"loan_batch.lock_amortisation", s.LoanBatch.LockAmortisation, higherIsBetter, false},
 		metric{"loan_batch.batched_arena_locks_per_msg", s.LoanBatch.BatchedArenaLocksPerMsg, lowerIsBetter, false},
 	)
+	// The cross-process section contributes only when it actually ran —
+	// a summary measured where there is no shared-segment backend has
+	// nothing to hold or be held to, and the by-name intersection makes
+	// a supported/unsupported pair degrade to "unheld", not "failed".
+	// All four are scale-dependent: throughput for the usual reason, and
+	// the waiter counters because spin-vs-sleep crossover is a property
+	// of the box's scheduling latency — they gate same-pool artifact
+	// chains (where a busy-spin regression shows as polls-per-message
+	// exploding) but not the committed-seed ratios-only fallback.
+	if s.XProc.Supported {
+		ms = append(ms,
+			metric{"xproc.msgs_per_sec", s.XProc.MsgsPerSec, higherIsBetter, true},
+			metric{"xproc.spin_polls_per_msg_plus1", s.XProc.SpinPollsPerMsgPlus1, lowerIsBetter, true},
+			metric{"xproc.futex_sleeps_per_msg_plus1", s.XProc.FutexSleepsPerMsgPlus1, lowerIsBetter, true},
+			metric{"xproc.futex_wakes_per_msg_plus1", s.XProc.FutexWakesPerMsgPlus1, lowerIsBetter, true},
+		)
+	}
 	return ms
 }
 

@@ -7,10 +7,10 @@ import (
 	"testing"
 )
 
-// sampleSummary builds a plausible schema-3 summary for comparison
+// sampleSummary builds a plausible schema-4 summary for comparison
 // tests; the absolute numbers only have to be self-consistent.
 func sampleSummary() *JSONSummary {
-	s := &JSONSummary{Schema: 3}
+	s := &JSONSummary{Schema: 4}
 	s.Contention.Workers = 8
 	s.Contention.Batch = 16
 	s.Contention.UnshardedMsgsPerSec = 100_000
@@ -36,6 +36,14 @@ func sampleSummary() *JSONSummary {
 	s.Credit.FairnessAdvantage = 7.5
 	s.Credit.CreditedHotMsgsPerSec = 150_000
 	s.Credit.CreditStalls = 4000
+	s.XProc.Supported = true
+	s.XProc.Children = 2
+	s.XProc.MsgsPerChild = 600
+	s.XProc.PayloadBytes = 1024
+	s.XProc.MsgsPerSec = 60_000
+	s.XProc.SpinPollsPerMsgPlus1 = 3.5
+	s.XProc.FutexSleepsPerMsgPlus1 = 1.1
+	s.XProc.FutexWakesPerMsgPlus1 = 1.4
 	return s
 }
 
@@ -152,6 +160,49 @@ func TestCompareShapeSkew(t *testing.T) {
 	newS.Contention.ShardedBatchedMsgsPerSec *= 0.70
 	if _, regressions, err := Compare(oldS, newS, 0.25, false); err != nil || regressions != 1 {
 		t.Fatalf("shared-metric drop under skew found %d regressions (err %v), want 1", regressions, err)
+	}
+}
+
+// TestCompareXProcSection: the cross-process waiter counters gate
+// same-pool chains — a busy-spin blowup (polls per message exploding)
+// is a regression — but a baseline or fresh run without shared-segment
+// support simply drops the section from the intersection rather than
+// failing the compare, and the committed-seed ratios-only mode skips
+// the whole section as scale-dependent.
+func TestCompareXProcSection(t *testing.T) {
+	oldS, newS := sampleSummary(), sampleSummary()
+	newS.XProc.SpinPollsPerMsgPlus1 *= 40 // waiters degraded to busy-spin
+	rows, regressions, err := Compare(oldS, newS, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("busy-spin blowup found %d regressions, want 1", regressions)
+	}
+	var hit bool
+	for _, r := range rows {
+		if r.Name == "xproc.spin_polls_per_msg_plus1" {
+			hit = r.Regressed
+		}
+	}
+	if !hit {
+		t.Error("busy-spin blowup not flagged on its own row")
+	}
+
+	// Unsupported on either side: the section leaves the intersection.
+	newS = sampleSummary()
+	newS.XProc = sampleSummary().XProc
+	newS.XProc.Supported = false
+	newS.XProc.MsgsPerSec = 0
+	if _, regressions, err := Compare(oldS, newS, 0.25, false); err != nil || regressions != 0 {
+		t.Fatalf("supported→unsupported pair: %d regressions (err %v), want 0", regressions, err)
+	}
+
+	// Ratios-only (committed-seed fallback): scale-dependent, skipped.
+	newS = sampleSummary()
+	newS.XProc.SpinPollsPerMsgPlus1 *= 40
+	if _, regressions, err := Compare(oldS, newS, 0.25, true); err != nil || regressions != 0 {
+		t.Fatalf("ratios-only held a waiter counter: %d regressions (err %v)", regressions, err)
 	}
 }
 

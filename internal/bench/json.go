@@ -2,16 +2,20 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"time"
+
+	"repro/mpf"
 )
 
 // Machine-readable performance trajectory. Summary runs compact
-// versions of the five headline benchmarks — contention scaling
+// versions of the six headline benchmarks — contention scaling
 // (PR 1), selector wakeups (PR 2), the copies ablation (PR 3), the
-// batched loan/harvest plane (PR 4) and the credit-fairness ablation
-// (PR 5) — and JSONSummary.Write serialises the result as BENCH.json,
+// batched loan/harvest plane (PR 4), the credit-fairness ablation
+// (PR 5) and the cross-process leg (PR 6) — and
+// JSONSummary.Write serialises the result as BENCH.json,
 // which CI uploads as an artifact so the repository's throughput
 // history can be charted across commits without re-parsing log text.
 // The perf-regression CI job feeds two BENCH.json files (previous run,
@@ -86,6 +90,30 @@ type JSONSummary struct {
 		CreditedHotMsgsPerSec float64 `json:"credited_hot_msgs_per_sec"`
 		CreditStalls          uint64  `json:"credit_stalls"`
 	} `json:"credit"`
+
+	// XProc is the PR 6 headline: the same loan/view protocol with the
+	// receiver in a real forked OS process, sharing only the mmap'd
+	// memfd segment. Supported is false where the platform has no
+	// shared-segment backend (or no spawn hook was installed); the
+	// compare gate skips the section's metrics then instead of failing
+	// the whole file. Schema 4.
+	XProc struct {
+		Supported    bool `json:"supported"`
+		Children     int  `json:"children"`
+		MsgsPerChild int  `json:"msgs_per_child"`
+		PayloadBytes int  `json:"payload_bytes"`
+		// Round-trip deliveries per second across all children, both
+		// phases (down views + up loans).
+		MsgsPerSec float64 `json:"msgs_per_sec"`
+		// Serving-side futex-ring waiter behaviour per delivered
+		// message — the busy-spin regression signal. Smoothed (+1, like
+		// wakeup_advantage) because sleeps and wakes are routinely
+		// exactly zero when the peer keeps up, and a raw near-zero
+		// denominator is bimodal noise no tolerance can hold.
+		SpinPollsPerMsgPlus1   float64 `json:"spin_polls_per_msg_plus1"`
+		FutexSleepsPerMsgPlus1 float64 `json:"futex_sleeps_per_msg_plus1"`
+		FutexWakesPerMsgPlus1  float64 `json:"futex_wakes_per_msg_plus1"`
+	} `json:"xproc"`
 }
 
 // CopiesPoint is one copies-ablation measurement in BENCH.json.
@@ -113,7 +141,7 @@ type CopiesPoint struct {
 // section, the credit fairness run, whose uncredited leg deliberately
 // holds a starvation monopoly open for seconds.
 func Summary(quick bool) (*JSONSummary, error) {
-	s := &JSONSummary{Schema: 3}
+	s := &JSONSummary{Schema: 4}
 	const attempts = 3
 
 	// Contention: the PR 1 headline configuration.
@@ -257,6 +285,38 @@ func Summary(quick bool) (*JSONSummary, error) {
 	}
 	s.Credit.CreditedHotMsgsPerSec = credited.HotMsgsPerSec
 	s.Credit.CreditStalls = credited.Stats.CreditStalls
+
+	// XProc: the PR 6 cross-process headline. Needs a spawn hook (set
+	// by mpfbench and the bench tests' TestMain) and a shared-segment
+	// backend; absent either, the section records supported=false and
+	// the summary still succeeds — BENCH.json must be producible on
+	// every platform the build gate covers.
+	xChildren, xMsgs, xSize := 2, 600, 1024
+	if quick {
+		xMsgs = 150
+	}
+	s.XProc.Children = xChildren
+	s.XProc.MsgsPerChild = xMsgs
+	s.XProc.PayloadBytes = xSize
+	if XProcSpawnSelf != nil {
+		bin, env := XProcSpawnSelf()
+		for i := 0; i < attempts; i++ {
+			r, err := RunXProc(bin, env, xChildren, xMsgs, xSize)
+			if errors.Is(err, mpf.ErrNoSharedBackend) {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bench: summary xproc: %w", err)
+			}
+			s.XProc.Supported = true
+			if r.MsgsPerSec > s.XProc.MsgsPerSec {
+				s.XProc.MsgsPerSec = r.MsgsPerSec
+				s.XProc.SpinPollsPerMsgPlus1 = r.SpinPollsPerMsg + 1
+				s.XProc.FutexSleepsPerMsgPlus1 = r.FutexSleepsPerMsg + 1
+				s.XProc.FutexWakesPerMsgPlus1 = r.FutexWakesPerMsg + 1
+			}
+		}
+	}
 	return s, nil
 }
 

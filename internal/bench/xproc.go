@@ -1,0 +1,152 @@
+package bench
+
+// The cross-process leg of the copies ablation. The in-process copies
+// benchmark (copies.go) measures what the zero-copy planes save when
+// sender and receiver share a Go heap; this leg measures the same
+// loan/view protocol when the receiver is a real forked OS process and
+// the only shared state is the mmap'd memfd segment — the paper's
+// actual deployment shape. Payloads cross the boundary by reference
+// (ring records carrying segment offsets), synchronisation is futex
+// words inside the segment, and the copy ledger must stay at zero.
+//
+// Alongside throughput, the run records the futex waiter counters from
+// the serving side's ring handles: spin polls, kernel sleeps and
+// FUTEX_WAKE syscalls per delivered message. Those are the busy-spin
+// regression signal — a waiter protocol that degraded to polling would
+// show up as polls-per-message exploding — and BENCH.json carries them
+// (smoothed, see Summary) so the perf gate holds them across runs.
+//
+// Spawning real children requires knowing what binary to exec; library
+// code cannot assume. XProcSpawnSelf is the hook: mpfbench (and the
+// bench tests, via their TestMain helper) set it to re-exec themselves
+// in a worker mode that just calls mpf.AttachProc + Serve.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/mpf"
+)
+
+// XProcSpawnSelf, when set, tells the benchmark how to spawn worker
+// children: it returns the binary to exec and the extra environment
+// that flips it into worker mode. Nil means the cross-process leg is
+// unavailable (BENCH.json then records supported=false and the compare
+// gate skips its metrics).
+var XProcSpawnSelf func() (bin string, extraEnv []string)
+
+// XProcResult is one cross-process measurement.
+type XProcResult struct {
+	Children     int
+	MsgsPerChild int
+	PayloadBytes int
+	MsgsPerSec   float64
+	// Serving-side futex-ring waiter counters, per delivered message.
+	SpinPollsPerMsg   float64
+	FutexSleepsPerMsg float64
+	FutexWakesPerMsg  float64
+}
+
+// RunXProc serves a memfd-backed facility, spawns children real
+// processes from bin, and drives msgsPerChild messages of size bytes
+// through each child in both directions (down views + up loans),
+// returning aggregate throughput and waiter counters.
+func RunXProc(bin string, extraEnv []string, children, msgsPerChild, size int) (*XProcResult, error) {
+	srv, err := mpf.ServeProc(mpf.ServeConfig{
+		Children: children,
+		RingCap:  64,
+		Options:  []mpf.Option{mpf.WithBlockSize(512), mpf.WithBlocksPerProcess(512)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	group, err := srv.Spawn(children, bin, nil, extraEnv)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+
+	start := time.Now()
+	errs := make(chan error, children)
+	for slot := 0; slot < children; slot++ {
+		go func(slot int) {
+			if _, err := srv.BridgeDown(slot, msgsPerChild, size); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := srv.BridgeUp(slot, msgsPerChild, size); err != nil {
+				errs <- err
+				return
+			}
+			errs <- srv.FinishSlot(slot)
+		}(slot)
+	}
+	for i := 0; i < children; i++ {
+		if err := <-errs; err != nil {
+			group.Kill()
+			srv.Close()
+			return nil, err
+		}
+	}
+	if err := group.Wait(60 * time.Second); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	total := 2 * children * msgsPerChild
+	st := srv.Facility().Stats()
+	if st.PayloadCopiesIn != 0 || st.PayloadCopiesOut != 0 {
+		srv.Close()
+		return nil, fmt.Errorf("bench: xproc leaked payload copies (in=%d out=%d)",
+			st.PayloadCopiesIn, st.PayloadCopiesOut)
+	}
+	ws := srv.RingWaitStats()
+	if err := srv.Close(); err != nil {
+		return nil, fmt.Errorf("bench: xproc segment unmap: %w", err)
+	}
+	msgs := float64(total)
+	return &XProcResult{
+		Children:          children,
+		MsgsPerChild:      msgsPerChild,
+		PayloadBytes:      size,
+		MsgsPerSec:        msgs / elapsed.Seconds(),
+		SpinPollsPerMsg:   float64(ws.Polls) / msgs,
+		FutexSleepsPerMsg: float64(ws.Sleeps) / msgs,
+		FutexWakesPerMsg:  float64(ws.Wakes) / msgs,
+	}, nil
+}
+
+// XProcSweep renders the cross-process ablation table: round-trip
+// throughput and waiter behaviour across payload sizes, against the
+// in-process zero-copy plane's figures for the same sizes (from
+// NativeCopies) so the boundary's cost is visible in one table.
+func XProcSweep(quick bool) (string, error) {
+	if XProcSpawnSelf == nil {
+		return "", fmt.Errorf("bench: no cross-process spawn hook on this path")
+	}
+	bin, env := XProcSpawnSelf()
+	children, msgs := 4, 1200
+	if quick {
+		children, msgs = 2, 200
+	}
+	sizes := []int{512, 4096, 16384}
+
+	out := fmt.Sprintf("Cross-process copies ablation (%d children, %d msgs/child/phase, zero payload copies)\n", children, msgs)
+	out += fmt.Sprintf("%10s %16s %16s %12s %12s %12s\n",
+		"payload", "xproc msgs/s", "inproc msgs/s", "polls/msg", "sleeps/msg", "wakes/msg")
+	for _, size := range sizes {
+		r, err := RunXProc(bin, env, children, msgs, size)
+		if err != nil {
+			return "", err
+		}
+		inproc, err := NativeCopies(PlaneZeroCopy, size, 1, 4*msgs)
+		if err != nil {
+			return "", err
+		}
+		out += fmt.Sprintf("%9dB %16.0f %16.0f %12.1f %12.2f %12.2f\n",
+			size, r.MsgsPerSec, inproc.MsgsPerSec,
+			r.SpinPollsPerMsg, r.FutexSleepsPerMsg, r.FutexWakesPerMsg)
+	}
+	return out, nil
+}

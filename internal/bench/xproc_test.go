@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/mpf"
+)
+
+// TestMain doubles the test binary as the cross-process worker: when
+// re-exec'd with MPFBENCH_XPROC_CHILD set it attaches to the parent's
+// segment and serves the loan/view protocol instead of running tests —
+// the same re-exec trick mpfbench itself uses. It also installs the
+// spawn hook so RunXProc (and Summary's xproc section) can fork real
+// children from inside go test.
+func TestMain(m *testing.M) {
+	if os.Getenv("MPFBENCH_XPROC_CHILD") != "" {
+		cl, err := mpf.AttachProc()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := cl.Serve(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := cl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		os.Exit(0)
+	}
+	XProcSpawnSelf = func() (string, []string) {
+		return os.Args[0], []string{"MPFBENCH_XPROC_CHILD=1"}
+	}
+	os.Exit(m.Run())
+}
+
+// TestXProcZeroCopyGate is the cross-process benchmark's gate: real
+// forked children, every payload through the shared segment, and the
+// measurement itself must prove zero payload copies (RunXProc errors
+// on a dirty ledger) with sane waiter counters.
+func TestXProcZeroCopyGate(t *testing.T) {
+	bin, env := XProcSpawnSelf()
+	r, err := RunXProc(bin, env, 2, 150, 512)
+	if errors.Is(err, mpf.ErrNoSharedBackend) {
+		t.Skip("no shared segment backend on this platform")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MsgsPerSec <= 0 {
+		t.Fatal("zero cross-process throughput")
+	}
+	// One FUTEX_WAKE serves at most one record in this protocol, and
+	// the wake elision means a fast peer needs far fewer; more wakes
+	// than messages would mean the counters are wired wrong.
+	if r.FutexWakesPerMsg > 4 {
+		t.Fatalf("%.2f futex wakes per message; waiter counters implausible", r.FutexWakesPerMsg)
+	}
+	t.Logf("xproc: %.0f msgs/s, polls/msg %.1f, sleeps/msg %.2f, wakes/msg %.2f",
+		r.MsgsPerSec, r.SpinPollsPerMsg, r.FutexSleepsPerMsg, r.FutexWakesPerMsg)
+}
+
+// TestSummaryXProcSection: the trajectory summary must carry the
+// cross-process section whenever the platform supports it — CI's
+// BENCH.json gate depends on the section being populated, not silently
+// unsupported, on the Linux runners.
+func TestSummaryXProcSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Summary run")
+	}
+	s, err := Summary(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Schema != 4 {
+		t.Fatalf("schema %d, want 4", s.Schema)
+	}
+	probe, err := mpf.ServeProc(mpf.ServeConfig{Children: 1})
+	if errors.Is(err, mpf.ErrNoSharedBackend) {
+		if s.XProc.Supported {
+			t.Fatal("xproc marked supported without a shared backend")
+		}
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Close()
+	if !s.XProc.Supported {
+		t.Fatal("xproc section unsupported on a platform with a shared backend")
+	}
+	if s.XProc.MsgsPerSec <= 0 || s.XProc.SpinPollsPerMsgPlus1 < 1 ||
+		s.XProc.FutexSleepsPerMsgPlus1 < 1 || s.XProc.FutexWakesPerMsgPlus1 < 1 {
+		t.Fatalf("implausible xproc section: %+v", s.XProc)
+	}
+}

@@ -174,6 +174,13 @@ type Config struct {
 	// ClassicChains is the copy ablation's paper-plane baseline
 	// (mpfbench -copies).
 	ClassicChains bool
+	// ArenaMem, when non-nil, backs the shared region with
+	// caller-provided memory instead of a fresh heap allocation — the
+	// cross-process hook: mpf.ServeProc points it at a window of a
+	// mapped memfd segment (sized via ArenaConfig(cfg).Bytes()), so
+	// every block offset the facility hands out is resolvable by any
+	// process that mapped the same segment. The memory must be zeroed.
+	ArenaMem []byte
 	// GlobalPulseMux reverts ReceiveAny to the pre-selector wakeup
 	// scheme: every Send pulses one facility-wide activity channel and
 	// every parked ReceiveAny waiter wakes to rescan all of its
@@ -361,6 +368,18 @@ type Facility struct {
 	stats statsCell
 }
 
+// ArenaConfig returns the arena carving Init derives from cfg — block
+// size, block count and span mode after defaulting. Callers that back
+// the region with a shared segment (Config.ArenaMem) use it to size
+// the window before Init runs, and to describe the carving to
+// attaching processes in the handshake.
+func ArenaConfig(cfg Config) shm.Config {
+	cfg.fillDefaults()
+	acfg := shm.SizeFor(cfg.MaxLNVCs, cfg.MaxProcesses, cfg.BlockSize, cfg.BlocksPerProcess)
+	acfg.Spans = !cfg.ClassicChains
+	return acfg
+}
+
 // Init creates a facility, allocating the shared region and initialising
 // the descriptor free lists (paper §2, init).
 func Init(cfg Config) (*Facility, error) {
@@ -368,9 +387,14 @@ func Init(cfg Config) (*Facility, error) {
 	if cfg.BlockSize < shm.MinBlockSize {
 		return nil, fmt.Errorf("mpf: block size %d below minimum %d", cfg.BlockSize, shm.MinBlockSize)
 	}
-	acfg := shm.SizeFor(cfg.MaxLNVCs, cfg.MaxProcesses, cfg.BlockSize, cfg.BlocksPerProcess)
-	acfg.Spans = !cfg.ClassicChains
-	arena, err := shm.New(acfg)
+	acfg := ArenaConfig(cfg)
+	var arena *shm.Arena
+	var err error
+	if cfg.ArenaMem != nil {
+		arena, err = shm.NewAt(acfg, cfg.ArenaMem)
+	} else {
+		arena, err = shm.New(acfg)
+	}
 	if err != nil {
 		return nil, err
 	}

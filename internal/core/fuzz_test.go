@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/shm"
 )
 
 // FuzzProtocolInvariants drives random interleavings of FCFS and
@@ -77,400 +79,421 @@ func FuzzProtocolInvariants(f *testing.F) {
 		if len(script) > 4096 {
 			t.Skip("script longer than useful")
 		}
-		const creditBudget = 12
-		fac, err := Init(Config{
-			MaxLNVCs:         4,
-			MaxProcesses:     5,
-			BlocksPerProcess: 16,
-			SendPolicy:       FailFast,
-			CreditBlocks:     creditBudget,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer fac.Shutdown()
+		// Scripts address payloads only through backend-relative offsets
+		// (the block offsets the facility itself hands out), never through
+		// absolute addresses, so one corpus exercises both arena backends:
+		// every script runs over the default heap arena and again over an
+		// arena carved out of a Segment at a nonzero base — the exact
+		// layout the cross-process serve path maps into child processes.
+		runProtocolScript(t, script, false)
+		runProtocolScript(t, script, true)
+	})
+}
 
-		const name = "fuzz"
-		sid, err := fac.OpenSend(0, name)
+func runProtocolScript(t *testing.T, script []byte, segmentBacked bool) {
+	const creditBudget = 12
+	cfg := Config{
+		MaxLNVCs:         4,
+		MaxProcesses:     5,
+		BlocksPerProcess: 16,
+		SendPolicy:       FailFast,
+		CreditBlocks:     creditBudget,
+	}
+	if segmentBacked {
+		acfg := ArenaConfig(cfg)
+		seg, err := shm.NewSegment(shm.AlignUp(acfg.Bytes()) + 64)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fcfs1, err := fac.OpenReceive(1, name, FCFS)
-		if err != nil {
-			t.Fatal(err)
-		}
-		fcfs2, err := fac.OpenReceive(2, name, FCFS)
-		if err != nil {
-			t.Fatal(err)
-		}
-		fcfs2Open := true
-		bc3, err := fac.OpenReceive(3, name, Broadcast)
-		if err != nil {
-			t.Fatal(err)
-		}
-		bc4, err := fac.OpenReceive(4, name, Broadcast)
-		if err != nil {
-			t.Fatal(err)
-		}
-		// pid 3 also drains through a Selector (op 11): harvested views
-		// interleave with its copying receives, plain view receives and
-		// held views on the same BROADCAST head.
-		sel, err := fac.NewSelector(3)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer sel.Close()
-		if err := sel.Add(bc3); err != nil {
-			t.Fatal(err)
-		}
+		defer seg.Close()
+		cfg.ArenaMem = seg.At(64, acfg.Bytes())
+	}
+	fac, err := Init(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fac.Shutdown()
 
-		type heldView struct {
-			v     *View
-			stamp uint64
-		}
-		var (
-			nextSeq   uint64             // payload stamp of the next send
-			sent      uint64             // sends accepted by the facility
-			fcfsSeen  = map[uint64]int{} // stamp → FCFS consumptions
-			fcfsOrder = uint64(0)        // next stamp FCFS may consume
-			bcNext    = map[int]uint64{3: 0, 4: 0}
-			held      []heldView // views pinned across ops (pid 3)
-		)
-		buf := make([]byte, 8)
+	const name = "fuzz"
+	sid, err := fac.OpenSend(0, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs1, err := fac.OpenReceive(1, name, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs2, err := fac.OpenReceive(2, name, FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs2Open := true
+	bc3, err := fac.OpenReceive(3, name, Broadcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc4, err := fac.OpenReceive(4, name, Broadcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pid 3 also drains through a Selector (op 11): harvested views
+	// interleave with its copying receives, plain view receives and
+	// held views on the same BROADCAST head.
+	sel, err := fac.NewSelector(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+	if err := sel.Add(bc3); err != nil {
+		t.Fatal(err)
+	}
 
-		stampOf := func(v *View) uint64 {
-			var b [8]byte
-			if n := v.CopyTo(b[:]); n != 8 {
-				t.Fatalf("held view has %d bytes, want 8", n)
+	type heldView struct {
+		v     *View
+		stamp uint64
+	}
+	var (
+		nextSeq   uint64             // payload stamp of the next send
+		sent      uint64             // sends accepted by the facility
+		fcfsSeen  = map[uint64]int{} // stamp → FCFS consumptions
+		fcfsOrder = uint64(0)        // next stamp FCFS may consume
+		bcNext    = map[int]uint64{3: 0, 4: 0}
+		held      []heldView // views pinned across ops (pid 3)
+	)
+	buf := make([]byte, 8)
+
+	stampOf := func(v *View) uint64 {
+		var b [8]byte
+		if n := v.CopyTo(b[:]); n != 8 {
+			t.Fatalf("held view has %d bytes, want 8", n)
+		}
+		return binary.BigEndian.Uint64(b[:])
+	}
+	releaseOldest := func() {
+		if len(held) == 0 {
+			return
+		}
+		h := held[0]
+		held = held[1:]
+		// The pin invariant: a live view's payload must read exactly
+		// as it did at claim time — recycled blocks would have been
+		// overwritten by later sends.
+		if got := stampOf(h.v); got != h.stamp {
+			t.Fatalf("held view corrupted: stamp %d read back as %d", h.stamp, got)
+		}
+		h.v.Release()
+	}
+	doSend := func(viaLoan bool) {
+		payload := make([]byte, 8)
+		binary.BigEndian.PutUint64(payload, nextSeq)
+		if viaLoan {
+			ln, err := fac.SendLoan(0, sid, 8)
+			if errors.Is(err, ErrNoMemory) || errors.Is(err, ErrNoCredit) {
+				return // pool full or budget spent: drop the stamp, receivers catch up
 			}
-			return binary.BigEndian.Uint64(b[:])
-		}
-		releaseOldest := func() {
-			if len(held) == 0 {
+			if err != nil {
+				t.Fatalf("loan %d: %v", nextSeq, err)
+			}
+			if n := ln.View().CopyFrom(payload); n != 8 {
+				t.Fatalf("loan fill wrote %d bytes", n)
+			}
+			if err := ln.Commit(); err != nil {
+				t.Fatalf("commit %d: %v", nextSeq, err)
+			}
+		} else {
+			err := fac.Send(0, sid, payload)
+			if errors.Is(err, ErrNoMemory) || errors.Is(err, ErrNoCredit) {
 				return
 			}
-			h := held[0]
-			held = held[1:]
-			// The pin invariant: a live view's payload must read exactly
-			// as it did at claim time — recycled blocks would have been
-			// overwritten by later sends.
-			if got := stampOf(h.v); got != h.stamp {
-				t.Fatalf("held view corrupted: stamp %d read back as %d", h.stamp, got)
+			if err != nil {
+				t.Fatalf("send %d: %v", nextSeq, err)
 			}
-			h.v.Release()
 		}
-		doSend := func(viaLoan bool) {
-			payload := make([]byte, 8)
-			binary.BigEndian.PutUint64(payload, nextSeq)
-			if viaLoan {
-				ln, err := fac.SendLoan(0, sid, 8)
-				if errors.Is(err, ErrNoMemory) || errors.Is(err, ErrNoCredit) {
-					return // pool full or budget spent: drop the stamp, receivers catch up
-				}
-				if err != nil {
-					t.Fatalf("loan %d: %v", nextSeq, err)
-				}
-				if n := ln.View().CopyFrom(payload); n != 8 {
-					t.Fatalf("loan fill wrote %d bytes", n)
-				}
-				if err := ln.Commit(); err != nil {
-					t.Fatalf("commit %d: %v", nextSeq, err)
-				}
-			} else {
-				err := fac.Send(0, sid, payload)
-				if errors.Is(err, ErrNoMemory) || errors.Is(err, ErrNoCredit) {
-					return
-				}
-				if err != nil {
-					t.Fatalf("send %d: %v", nextSeq, err)
-				}
+		nextSeq++
+		sent++
+	}
+	fcfsRecv := func(pid int, id ID) {
+		n, ok, err := fac.TryReceive(pid, id, buf)
+		if err != nil {
+			t.Fatalf("FCFS TryReceive pid %d: %v", pid, err)
+		}
+		if !ok {
+			return
+		}
+		if n != 8 {
+			t.Fatalf("FCFS pid %d got %d bytes", pid, n)
+		}
+		stamp := binary.BigEndian.Uint64(buf)
+		fcfsSeen[stamp]++
+		if fcfsSeen[stamp] > 1 {
+			t.Fatalf("message %d consumed %d times by FCFS", stamp, fcfsSeen[stamp])
+		}
+		if stamp != fcfsOrder {
+			t.Fatalf("FCFS consumed %d, want next-in-order %d", stamp, fcfsOrder)
+		}
+		fcfsOrder++
+	}
+	bcastRecv := func(pid int, id ID, viaView bool) {
+		var stamp uint64
+		if viaView {
+			v, ok, err := fac.TryReceiveView(pid, id)
+			if err != nil {
+				t.Fatalf("BROADCAST TryReceiveView pid %d: %v", pid, err)
 			}
-			nextSeq++
-			sent++
-		}
-		fcfsRecv := func(pid int, id ID) {
+			if !ok {
+				return
+			}
+			if v.Len() != 8 {
+				t.Fatalf("BROADCAST pid %d got a %d-byte view", pid, v.Len())
+			}
+			stamp = stampOf(v)
+			v.Release()
+		} else {
 			n, ok, err := fac.TryReceive(pid, id, buf)
 			if err != nil {
-				t.Fatalf("FCFS TryReceive pid %d: %v", pid, err)
+				t.Fatalf("BROADCAST TryReceive pid %d: %v", pid, err)
 			}
 			if !ok {
 				return
 			}
 			if n != 8 {
-				t.Fatalf("FCFS pid %d got %d bytes", pid, n)
+				t.Fatalf("BROADCAST pid %d got %d bytes", pid, n)
 			}
-			stamp := binary.BigEndian.Uint64(buf)
-			fcfsSeen[stamp]++
-			if fcfsSeen[stamp] > 1 {
-				t.Fatalf("message %d consumed %d times by FCFS", stamp, fcfsSeen[stamp])
-			}
-			if stamp != fcfsOrder {
-				t.Fatalf("FCFS consumed %d, want next-in-order %d", stamp, fcfsOrder)
-			}
-			fcfsOrder++
+			stamp = binary.BigEndian.Uint64(buf)
 		}
-		bcastRecv := func(pid int, id ID, viaView bool) {
-			var stamp uint64
-			if viaView {
-				v, ok, err := fac.TryReceiveView(pid, id)
-				if err != nil {
-					t.Fatalf("BROADCAST TryReceiveView pid %d: %v", pid, err)
-				}
-				if !ok {
-					return
-				}
-				if v.Len() != 8 {
-					t.Fatalf("BROADCAST pid %d got a %d-byte view", pid, v.Len())
-				}
-				stamp = stampOf(v)
-				v.Release()
-			} else {
-				n, ok, err := fac.TryReceive(pid, id, buf)
-				if err != nil {
-					t.Fatalf("BROADCAST TryReceive pid %d: %v", pid, err)
-				}
-				if !ok {
-					return
-				}
-				if n != 8 {
-					t.Fatalf("BROADCAST pid %d got %d bytes", pid, n)
-				}
-				stamp = binary.BigEndian.Uint64(buf)
-			}
-			if stamp != bcNext[pid] {
-				t.Fatalf("BROADCAST pid %d saw %d, want %d (gap or reorder)", pid, stamp, bcNext[pid])
-			}
-			bcNext[pid]++
+		if stamp != bcNext[pid] {
+			t.Fatalf("BROADCAST pid %d saw %d, want %d (gap or reorder)", pid, stamp, bcNext[pid])
 		}
-		holdView := func() {
-			if len(held) >= 8 {
-				// Bound the pinned backlog so FailFast sends keep flowing.
-				releaseOldest()
+		bcNext[pid]++
+	}
+	holdView := func() {
+		if len(held) >= 8 {
+			// Bound the pinned backlog so FailFast sends keep flowing.
+			releaseOldest()
+		}
+		v, ok, err := fac.TryReceiveView(3, bc3)
+		if err != nil {
+			t.Fatalf("held TryReceiveView: %v", err)
+		}
+		if !ok {
+			return
+		}
+		stamp := stampOf(v)
+		if stamp != bcNext[3] {
+			t.Fatalf("held view saw %d, want %d (gap or reorder)", stamp, bcNext[3])
+		}
+		bcNext[3]++
+		held = append(held, heldView{v: v, stamp: stamp})
+	}
+	// batchSend acquires a LoanBatch of k stamped loans and commits
+	// the first `commit` of them, aborting the rest — the partial
+	// abort when commit < k, a pure AbortAll when commit == -1.
+	batchSend := func(k, commit int) {
+		ns := make([]int, k)
+		for j := range ns {
+			ns[j] = 8
+		}
+		lb, err := fac.LoanBatch(0, sid, ns)
+		if errors.Is(err, ErrNoMemory) || errors.Is(err, ErrNoCredit) {
+			return // pool full or budget spent: drop the batch, receivers catch up
+		}
+		if err != nil {
+			t.Fatalf("loan batch: %v", err)
+		}
+		payload := make([]byte, 8)
+		for j := 0; j < k; j++ {
+			binary.BigEndian.PutUint64(payload, nextSeq+uint64(j))
+			if n := lb.Fill(j, payload); n != 8 {
+				t.Fatalf("batch fill wrote %d bytes", n)
 			}
-			v, ok, err := fac.TryReceiveView(3, bc3)
-			if err != nil {
-				t.Fatalf("held TryReceiveView: %v", err)
-			}
-			if !ok {
-				return
+		}
+		if commit < 0 {
+			lb.AbortAll()
+			return
+		}
+		if commit == k {
+			err = lb.CommitAll()
+		} else {
+			err = lb.CommitN(commit)
+		}
+		if err != nil {
+			t.Fatalf("batch commit %d of %d: %v", commit, k, err)
+		}
+		// Aborted tail stamps are reused by the next send, so the
+		// observed stream stays gap-free.
+		nextSeq += uint64(commit)
+		sent += uint64(commit)
+	}
+	// harvestViews drains up to two messages through pid 3's
+	// Selector into held views. The guard keeps it non-blocking: a
+	// BROADCAST receiver with bcNext < sent always has a
+	// deliverable message, so the wait round returns immediately.
+	harvestViews := func() {
+		if bcNext[3] >= sent {
+			return
+		}
+		for len(held) > 6 {
+			releaseOldest()
+		}
+		vs, err := sel.HarvestViewsDeadline(2, 10*time.Second)
+		if err != nil {
+			t.Fatalf("harvest: %v", err)
+		}
+		for _, v := range vs {
+			if v.Len() != 8 {
+				t.Fatalf("harvested a %d-byte view", v.Len())
 			}
 			stamp := stampOf(v)
 			if stamp != bcNext[3] {
-				t.Fatalf("held view saw %d, want %d (gap or reorder)", stamp, bcNext[3])
+				t.Fatalf("harvest saw %d, want %d (gap or reorder)", stamp, bcNext[3])
 			}
 			bcNext[3]++
 			held = append(held, heldView{v: v, stamp: stamp})
 		}
-		// batchSend acquires a LoanBatch of k stamped loans and commits
-		// the first `commit` of them, aborting the rest — the partial
-		// abort when commit < k, a pure AbortAll when commit == -1.
-		batchSend := func(k, commit int) {
-			ns := make([]int, k)
-			for j := range ns {
-				ns[j] = 8
-			}
-			lb, err := fac.LoanBatch(0, sid, ns)
-			if errors.Is(err, ErrNoMemory) || errors.Is(err, ErrNoCredit) {
-				return // pool full or budget spent: drop the batch, receivers catch up
-			}
-			if err != nil {
-				t.Fatalf("loan batch: %v", err)
-			}
-			payload := make([]byte, 8)
-			for j := 0; j < k; j++ {
-				binary.BigEndian.PutUint64(payload, nextSeq+uint64(j))
-				if n := lb.Fill(j, payload); n != 8 {
-					t.Fatalf("batch fill wrote %d bytes", n)
-				}
-			}
-			if commit < 0 {
-				lb.AbortAll()
-				return
-			}
-			if commit == k {
-				err = lb.CommitAll()
-			} else {
-				err = lb.CommitN(commit)
-			}
-			if err != nil {
-				t.Fatalf("batch commit %d of %d: %v", commit, k, err)
-			}
-			// Aborted tail stamps are reused by the next send, so the
-			// observed stream stays gap-free.
-			nextSeq += uint64(commit)
-			sent += uint64(commit)
-		}
-		// harvestViews drains up to two messages through pid 3's
-		// Selector into held views. The guard keeps it non-blocking: a
-		// BROADCAST receiver with bcNext < sent always has a
-		// deliverable message, so the wait round returns immediately.
-		harvestViews := func() {
-			if bcNext[3] >= sent {
-				return
-			}
-			for len(held) > 6 {
-				releaseOldest()
-			}
-			vs, err := sel.HarvestViewsDeadline(2, 10*time.Second)
-			if err != nil {
-				t.Fatalf("harvest: %v", err)
-			}
-			for _, v := range vs {
-				if v.Len() != 8 {
-					t.Fatalf("harvested a %d-byte view", v.Len())
-				}
-				stamp := stampOf(v)
-				if stamp != bcNext[3] {
-					t.Fatalf("harvest saw %d, want %d (gap or reorder)", stamp, bcNext[3])
-				}
-				bcNext[3]++
-				held = append(held, heldView{v: v, stamp: stamp})
-			}
-		}
+	}
 
-		// loanAbort is the pure credit debit/refund cycle: a loan
-		// acquired (budget debited at allocation) and aborted (the
-		// never-enqueued demand refunded) with no message traffic.
-		loanAbort := func() {
-			ln, err := fac.SendLoan(0, sid, 8)
-			if errors.Is(err, ErrNoMemory) || errors.Is(err, ErrNoCredit) {
-				return
-			}
-			if err != nil {
-				t.Fatalf("credit loan: %v", err)
-			}
-			ln.Abort()
+	// loanAbort is the pure credit debit/refund cycle: a loan
+	// acquired (budget debited at allocation) and aborted (the
+	// never-enqueued demand refunded) with no message traffic.
+	loanAbort := func() {
+		ln, err := fac.SendLoan(0, sid, 8)
+		if errors.Is(err, ErrNoMemory) || errors.Is(err, ErrNoCredit) {
+			return
 		}
-		// checkLedger asserts the mid-run credit bound: the circuit's
-		// debits never exceed the budget and, with one credited circuit
-		// in the facility, always equal the CreditsHeld gauge.
-		checkLedger := func() {
-			info, err := fac.LNVCInfo(sid)
-			if err != nil {
-				t.Fatalf("credit ledger info: %v", err)
-			}
-			if info.CreditCap != creditBudget {
-				t.Fatalf("ledger cap %d, want %d", info.CreditCap, creditBudget)
-			}
-			if info.CreditUsed < 0 || info.CreditUsed > creditBudget {
-				t.Fatalf("ledger overdrawn: %d of %d blocks debited", info.CreditUsed, creditBudget)
-			}
-			if held := fac.Stats().CreditsHeld; held != uint64(info.CreditUsed) {
-				t.Fatalf("gauge disagrees with ledger: held %d, circuit debits %d", held, info.CreditUsed)
-			}
-		}
-
-		for _, op := range script {
-			viaZC := op&0x80 != 0
-			switch int(op&0x7f) % 16 {
-			case 0:
-				doSend(viaZC)
-			case 1:
-				fcfsRecv(1, fcfs1)
-			case 2:
-				if fcfs2Open {
-					fcfsRecv(2, fcfs2)
-				}
-			case 3:
-				bcastRecv(3, bc3, viaZC)
-			case 4:
-				bcastRecv(4, bc4, viaZC)
-			case 5:
-				if fcfs2Open {
-					if err := fac.CloseReceive(2, fcfs2); err != nil {
-						t.Fatalf("close fcfs2: %v", err)
-					}
-					fcfs2Open = false
-				} else {
-					// Reopening inherits the shared FCFS head: no
-					// double delivery, no gap.
-					fcfs2, err = fac.OpenReceive(2, name, FCFS)
-					if err != nil {
-						t.Fatalf("reopen fcfs2: %v", err)
-					}
-					fcfs2Open = true
-				}
-			case 6:
-				holdView()
-			case 7:
-				releaseOldest()
-			case 8:
-				batchSend(3, 3) // CommitAll
-			case 9:
-				batchSend(3, 1) // partial: commit 1, abort 2
-			case 10:
-				batchSend(2, -1) // AbortAll
-			case 11:
-				harvestViews()
-			case 12:
-				loanAbort()
-			case 13:
-				checkLedger()
-			default:
-				// 14-15 reserved; treated as no-ops so future ops can
-				// claim them without invalidating today's corpus.
-			}
-		}
-
-		// Drain: every accepted message must reach exactly one FCFS
-		// receiver and both broadcast receivers, in order. pid 3
-		// alternates views and copies on the way out.
-		for fcfsOrder < sent {
-			before := fcfsOrder
-			fcfsRecv(1, fcfs1)
-			if fcfsOrder == before {
-				t.Fatalf("FCFS drain stalled at %d of %d", fcfsOrder, sent)
-			}
-		}
-		for _, pid := range []int{3, 4} {
-			id := bc3
-			if pid == 4 {
-				id = bc4
-			}
-			for bcNext[pid] < sent {
-				before := bcNext[pid]
-				bcastRecv(pid, id, pid == 3 && bcNext[pid]%2 == 0)
-				if bcNext[pid] == before {
-					t.Fatalf("BROADCAST pid %d drain stalled at %d of %d", pid, bcNext[pid], sent)
-				}
-			}
-		}
-		for stamp := uint64(0); stamp < sent; stamp++ {
-			if fcfsSeen[stamp] != 1 {
-				t.Fatalf("message %d consumed %d times by FCFS, want exactly 1", stamp, fcfsSeen[stamp])
-			}
-		}
-
-		// Views still held must read their original payloads, then let
-		// their blocks go.
-		for len(held) > 0 {
-			releaseOldest()
-		}
-
-		// Everything consumed and every pin dropped: reclamation must
-		// have emptied the queue and returned every block.
-		id, ok := fac.LNVCByName(name)
-		if !ok {
-			t.Fatal("circuit vanished")
-		}
-		info, err := fac.LNVCInfo(id)
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("credit loan: %v", err)
 		}
-		if info.QueuedMsgs != 0 {
-			t.Fatalf("%d messages still queued after full drain", info.QueuedMsgs)
+		ln.Abort()
+	}
+	// checkLedger asserts the mid-run credit bound: the circuit's
+	// debits never exceed the budget and, with one credited circuit
+	// in the facility, always equal the CreditsHeld gauge.
+	checkLedger := func() {
+		info, err := fac.LNVCInfo(sid)
+		if err != nil {
+			t.Fatalf("credit ledger info: %v", err)
 		}
-		if free, total := fac.Arena().FreeBlocks(), fac.Arena().NumBlocks(); free != total {
-			t.Fatalf("block leak after drain: %d of %d free", free, total)
+		if info.CreditCap != creditBudget {
+			t.Fatalf("ledger cap %d, want %d", info.CreditCap, creditBudget)
 		}
-		// The credit quiescence invariant: with every message reclaimed
-		// and every loan resolved, credits held + credits free == the
-		// configured budget — i.e. the ledger and the gauge are zero.
-		if info.CreditUsed != 0 {
-			t.Fatalf("credit leak after drain: %d of %d budget blocks still debited", info.CreditUsed, creditBudget)
+		if info.CreditUsed < 0 || info.CreditUsed > creditBudget {
+			t.Fatalf("ledger overdrawn: %d of %d blocks debited", info.CreditUsed, creditBudget)
 		}
-		if held := fac.Stats().CreditsHeld; held != 0 {
-			t.Fatalf("credit gauge leak after drain: %d blocks still held", held)
+		if held := fac.Stats().CreditsHeld; held != uint64(info.CreditUsed) {
+			t.Fatalf("gauge disagrees with ledger: held %d, circuit debits %d", held, info.CreditUsed)
 		}
-	})
+	}
+
+	for _, op := range script {
+		viaZC := op&0x80 != 0
+		switch int(op&0x7f) % 16 {
+		case 0:
+			doSend(viaZC)
+		case 1:
+			fcfsRecv(1, fcfs1)
+		case 2:
+			if fcfs2Open {
+				fcfsRecv(2, fcfs2)
+			}
+		case 3:
+			bcastRecv(3, bc3, viaZC)
+		case 4:
+			bcastRecv(4, bc4, viaZC)
+		case 5:
+			if fcfs2Open {
+				if err := fac.CloseReceive(2, fcfs2); err != nil {
+					t.Fatalf("close fcfs2: %v", err)
+				}
+				fcfs2Open = false
+			} else {
+				// Reopening inherits the shared FCFS head: no
+				// double delivery, no gap.
+				fcfs2, err = fac.OpenReceive(2, name, FCFS)
+				if err != nil {
+					t.Fatalf("reopen fcfs2: %v", err)
+				}
+				fcfs2Open = true
+			}
+		case 6:
+			holdView()
+		case 7:
+			releaseOldest()
+		case 8:
+			batchSend(3, 3) // CommitAll
+		case 9:
+			batchSend(3, 1) // partial: commit 1, abort 2
+		case 10:
+			batchSend(2, -1) // AbortAll
+		case 11:
+			harvestViews()
+		case 12:
+			loanAbort()
+		case 13:
+			checkLedger()
+		default:
+			// 14-15 reserved; treated as no-ops so future ops can
+			// claim them without invalidating today's corpus.
+		}
+	}
+
+	// Drain: every accepted message must reach exactly one FCFS
+	// receiver and both broadcast receivers, in order. pid 3
+	// alternates views and copies on the way out.
+	for fcfsOrder < sent {
+		before := fcfsOrder
+		fcfsRecv(1, fcfs1)
+		if fcfsOrder == before {
+			t.Fatalf("FCFS drain stalled at %d of %d", fcfsOrder, sent)
+		}
+	}
+	for _, pid := range []int{3, 4} {
+		id := bc3
+		if pid == 4 {
+			id = bc4
+		}
+		for bcNext[pid] < sent {
+			before := bcNext[pid]
+			bcastRecv(pid, id, pid == 3 && bcNext[pid]%2 == 0)
+			if bcNext[pid] == before {
+				t.Fatalf("BROADCAST pid %d drain stalled at %d of %d", pid, bcNext[pid], sent)
+			}
+		}
+	}
+	for stamp := uint64(0); stamp < sent; stamp++ {
+		if fcfsSeen[stamp] != 1 {
+			t.Fatalf("message %d consumed %d times by FCFS, want exactly 1", stamp, fcfsSeen[stamp])
+		}
+	}
+
+	// Views still held must read their original payloads, then let
+	// their blocks go.
+	for len(held) > 0 {
+		releaseOldest()
+	}
+
+	// Everything consumed and every pin dropped: reclamation must
+	// have emptied the queue and returned every block.
+	id, ok := fac.LNVCByName(name)
+	if !ok {
+		t.Fatal("circuit vanished")
+	}
+	info, err := fac.LNVCInfo(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.QueuedMsgs != 0 {
+		t.Fatalf("%d messages still queued after full drain", info.QueuedMsgs)
+	}
+	if free, total := fac.Arena().FreeBlocks(), fac.Arena().NumBlocks(); free != total {
+		t.Fatalf("block leak after drain: %d of %d free", free, total)
+	}
+	// The credit quiescence invariant: with every message reclaimed
+	// and every loan resolved, credits held + credits free == the
+	// configured budget — i.e. the ledger and the gauge are zero.
+	if info.CreditUsed != 0 {
+		t.Fatalf("credit leak after drain: %d of %d budget blocks still debited", info.CreditUsed, creditBudget)
+	}
+	if held := fac.Stats().CreditsHeld; held != 0 {
+		t.Fatalf("credit gauge leak after drain: %d blocks still held", held)
+	}
 }

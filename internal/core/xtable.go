@@ -1,0 +1,239 @@
+package core
+
+// The cross-process descriptor table. The paper's MPF kept all of its
+// descriptors inside the mapped region; this port's LNVC descriptors
+// are Go structs full of pointers and cannot leave the serving
+// process, so the process boundary gets its own table — a small,
+// fixed-layout structure inside the segment that records, per attached
+// peer process: an ownership state word, an attach generation, the
+// peer's pid, and the segment offsets of its two SPSC descriptor rings
+// (down = parent→child, up = child→parent). Everything in it is
+// offsets and atomic words; no Go pointer crosses the boundary.
+//
+// The table header carries the same protocol generation the attach
+// handshake quotes. AttachSegTable refuses a mismatch, so a child
+// holding a stale handshake (a recycled segment, a restarted parent)
+// fails loudly at attach instead of misreading a layout it was never
+// told about.
+//
+// Layout (all offsets relative to the table base, 64-aligned):
+//
+//	+0   magic, version
+//	+8   generation (uint64)
+//	+16  nSlots, ringCap (uint32 each)
+//	+64  slot 0, +128 slot 1, … (64 bytes per slot):
+//	       +0  state    free(0) / attached(1) / detached(2), CAS-owned
+//	       +4  attaches cumulative attach count for the slot
+//	       +8  pid      attached peer's pid (informational)
+//	       +16 downOff  segment offset of the parent→child ring
+//	       +24 upOff    segment offset of the child→parent ring
+//	+…   the rings themselves, two per slot
+//
+// Slot claiming is one CAS on the state word, so peers may attach and
+// detach concurrently with each other and with the serving facility's
+// allocator traffic — TestSegmentAttachChurnRace drives exactly that.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/shm"
+)
+
+// Slot states, CAS-transitioned free→attached→detached→attached→… .
+const (
+	SlotFree     uint32 = 0
+	SlotAttached uint32 = 1
+	SlotDetached uint32 = 2
+)
+
+const (
+	segTableMagic   = 0x5458504D // "MPXT"
+	segTableVersion = 1
+	segTableHdr     = 64
+	segSlotBytes    = 64
+
+	slotOffState    = 0
+	slotOffAttaches = 4
+	slotOffPid      = 8
+	slotOffDown     = 16
+	slotOffUp       = 24
+)
+
+// ErrGenerationMismatch is returned when a peer attaches with a
+// generation that does not match the table's — a stale handshake
+// against a recycled or restarted segment.
+var ErrGenerationMismatch = errors.New("mpf: segment table generation mismatch")
+
+// ErrNoFreeSlot is returned by ClaimAny when every slot is attached.
+var ErrNoFreeSlot = errors.New("mpf: no free segment table slot")
+
+// SegTable is a process-local handle onto the in-segment table. Every
+// attached process holds its own handle over its own mapping.
+type SegTable struct {
+	seg     *shm.Segment
+	base    int64
+	nSlots  int
+	ringCap int
+	gen     uint64
+}
+
+// segRingSpace is one ring's 64-aligned footprint.
+func segRingSpace(ringCap int) int64 { return shm.AlignUp(shm.RingBytes(ringCap)) }
+
+// SegTableBytes returns the full table footprint — header, slots and
+// both rings of every slot — for segment layout planning.
+func SegTableBytes(nSlots, ringCap int) int64 {
+	return segTableHdr + int64(nSlots)*segSlotBytes + int64(nSlots)*2*segRingSpace(ringCap)
+}
+
+// InitSegTable formats a table (and all of its rings) at base inside a
+// fresh, zeroed region of the segment, stamping it with generation.
+func InitSegTable(seg *shm.Segment, base int64, nSlots, ringCap int, generation uint64) (*SegTable, error) {
+	if nSlots < 1 || nSlots > 1<<16 {
+		return nil, fmt.Errorf("mpf: segment table with %d slots", nSlots)
+	}
+	if base < 0 || base%64 != 0 {
+		return nil, fmt.Errorf("mpf: segment table base %d not 64-aligned", base)
+	}
+	if base+SegTableBytes(nSlots, ringCap) > seg.Size() {
+		return nil, fmt.Errorf("mpf: segment table of %d bytes at %d exceeds segment of %d",
+			SegTableBytes(nSlots, ringCap), base, seg.Size())
+	}
+	t := &SegTable{seg: seg, base: base, nSlots: nSlots, ringCap: ringCap, gen: generation}
+	ringsBase := base + segTableHdr + int64(nSlots)*segSlotBytes
+	for i := 0; i < nSlots; i++ {
+		down := ringsBase + int64(i)*2*segRingSpace(ringCap)
+		up := down + segRingSpace(ringCap)
+		if _, err := shm.InitRing(seg, down, ringCap); err != nil {
+			return nil, err
+		}
+		if _, err := shm.InitRing(seg, up, ringCap); err != nil {
+			return nil, err
+		}
+		slot := t.slotBase(i)
+		seg.Atomic64(slot + slotOffDown).Store(uint64(down))
+		seg.Atomic64(slot + slotOffUp).Store(uint64(up))
+		seg.Atomic32(slot + slotOffState).Store(SlotFree)
+	}
+	seg.Atomic64(base + 8).Store(generation)
+	seg.Atomic32(base + 16).Store(uint32(nSlots))
+	seg.Atomic32(base + 20).Store(uint32(ringCap))
+	seg.Atomic32(base + 4).Store(segTableVersion)
+	// Magic last: an attacher that races formatting sees no table
+	// rather than a half-formatted one.
+	seg.Atomic32(base + 0).Store(segTableMagic)
+	return t, nil
+}
+
+// AttachSegTable binds to a table formatted by another process's
+// InitSegTable, verifying magic, version and the protocol generation
+// from the attach handshake.
+func AttachSegTable(seg *shm.Segment, base int64, generation uint64) (*SegTable, error) {
+	if base < 0 || base%64 != 0 || base+segTableHdr > seg.Size() {
+		return nil, fmt.Errorf("mpf: segment table base %d invalid for segment of %d bytes", base, seg.Size())
+	}
+	if seg.Atomic32(base+0).Load() != segTableMagic {
+		return nil, fmt.Errorf("mpf: no segment table at offset %d", base)
+	}
+	if v := seg.Atomic32(base + 4).Load(); v != segTableVersion {
+		return nil, fmt.Errorf("mpf: segment table version %d, want %d", v, segTableVersion)
+	}
+	if g := seg.Atomic64(base + 8).Load(); g != generation {
+		return nil, fmt.Errorf("mpf: table stamped generation %d, handshake says %d: %w",
+			g, generation, ErrGenerationMismatch)
+	}
+	nSlots := int(seg.Atomic32(base + 16).Load())
+	ringCap := int(seg.Atomic32(base + 20).Load())
+	if nSlots < 1 || nSlots > 1<<16 || base+SegTableBytes(nSlots, ringCap) > seg.Size() {
+		return nil, fmt.Errorf("mpf: segment table at %d has corrupt geometry (%d slots, ring cap %d)",
+			base, nSlots, ringCap)
+	}
+	return &SegTable{seg: seg, base: base, nSlots: nSlots, ringCap: ringCap, gen: generation}, nil
+}
+
+func (t *SegTable) slotBase(i int) int64 { return t.base + segTableHdr + int64(i)*segSlotBytes }
+
+func (t *SegTable) checkSlot(i int) {
+	if i < 0 || i >= t.nSlots {
+		panic(fmt.Sprintf("mpf: segment table slot %d of %d", i, t.nSlots))
+	}
+}
+
+// NSlots returns the table's slot count.
+func (t *SegTable) NSlots() int { return t.nSlots }
+
+// RingCap returns the per-direction ring capacity in records.
+func (t *SegTable) RingCap() int { return t.ringCap }
+
+// Generation returns the protocol generation the table was stamped with.
+func (t *SegTable) Generation() uint64 { return t.gen }
+
+// Claim takes ownership of slot i for a peer with the given pid: one
+// CAS from free or detached to attached. A slot already attached is
+// refused.
+func (t *SegTable) Claim(i int, pid uint32) error {
+	t.checkSlot(i)
+	state := t.seg.Atomic32(t.slotBase(i) + slotOffState)
+	for {
+		s := state.Load()
+		if s == SlotAttached {
+			return fmt.Errorf("mpf: segment table slot %d already attached", i)
+		}
+		if state.CompareAndSwap(s, SlotAttached) {
+			t.seg.Atomic32(t.slotBase(i) + slotOffPid).Store(pid)
+			t.seg.Atomic32(t.slotBase(i) + slotOffAttaches).Add(1)
+			return nil
+		}
+	}
+}
+
+// ClaimAny claims the first available slot, returning its index.
+func (t *SegTable) ClaimAny(pid uint32) (int, error) {
+	for i := 0; i < t.nSlots; i++ {
+		if s := t.SlotState(i); s == SlotAttached {
+			continue
+		}
+		if err := t.Claim(i, pid); err == nil {
+			return i, nil
+		}
+	}
+	return -1, ErrNoFreeSlot
+}
+
+// Detach releases slot i. The slot's rings stay formatted (indices and
+// queued records intact), so a future peer can claim the slot again.
+func (t *SegTable) Detach(i int) {
+	t.checkSlot(i)
+	t.seg.Atomic32(t.slotBase(i) + slotOffState).Store(SlotDetached)
+}
+
+// SlotState returns slot i's current ownership state.
+func (t *SegTable) SlotState(i int) uint32 {
+	t.checkSlot(i)
+	return t.seg.Atomic32(t.slotBase(i) + slotOffState).Load()
+}
+
+// SlotPid returns the pid recorded by the slot's most recent Claim.
+func (t *SegTable) SlotPid(i int) uint32 {
+	t.checkSlot(i)
+	return t.seg.Atomic32(t.slotBase(i) + slotOffPid).Load()
+}
+
+// Attaches returns slot i's cumulative attach count.
+func (t *SegTable) Attaches(i int) uint32 {
+	t.checkSlot(i)
+	return t.seg.Atomic32(t.slotBase(i) + slotOffAttaches).Load()
+}
+
+// DownRing attaches to slot i's parent→child descriptor ring.
+func (t *SegTable) DownRing(i int) (*shm.XRing, error) {
+	t.checkSlot(i)
+	return shm.AttachRing(t.seg, int64(t.seg.Atomic64(t.slotBase(i)+slotOffDown).Load()))
+}
+
+// UpRing attaches to slot i's child→parent descriptor ring.
+func (t *SegTable) UpRing(i int) (*shm.XRing, error) {
+	t.checkSlot(i)
+	return shm.AttachRing(t.seg, int64(t.seg.Atomic64(t.slotBase(i)+slotOffUp).Load()))
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/shm"
+)
+
+func tableSegment(t *testing.T, nSlots, ringCap int, extra int64) (*shm.Segment, *SegTable) {
+	t.Helper()
+	seg, err := shm.NewSegment(shm.AlignUp(SegTableBytes(nSlots, ringCap)) + extra + 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { seg.Close() })
+	tab, err := InitSegTable(seg, 64, nSlots, ringCap, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg, tab
+}
+
+func TestSegTableClaimDetach(t *testing.T) {
+	seg, tab := tableSegment(t, 3, 8, 0)
+
+	peer, err := AttachSegTable(seg, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peer.NSlots() != 3 || peer.RingCap() != 8 || peer.Generation() != 7 {
+		t.Fatalf("attached table reads %d slots, ring cap %d, gen %d",
+			peer.NSlots(), peer.RingCap(), peer.Generation())
+	}
+	if _, err := AttachSegTable(seg, 64, 8); !errors.Is(err, ErrGenerationMismatch) {
+		t.Fatalf("stale generation attach: %v", err)
+	}
+	if _, err := AttachSegTable(seg, 128, 7); err == nil {
+		t.Fatal("attach to non-table offset succeeded")
+	}
+
+	if err := peer.Claim(1, 1234); err != nil {
+		t.Fatal(err)
+	}
+	if tab.SlotState(1) != SlotAttached || tab.SlotPid(1) != 1234 {
+		t.Fatalf("slot 1 state %d pid %d after claim", tab.SlotState(1), tab.SlotPid(1))
+	}
+	if err := tab.Claim(1, 99); err == nil {
+		t.Fatal("double claim succeeded")
+	}
+	i, err := tab.ClaimAny(42)
+	if err != nil || i == 1 {
+		t.Fatalf("ClaimAny = %d, %v", i, err)
+	}
+	peer.Detach(1)
+	if tab.SlotState(1) != SlotDetached {
+		t.Fatalf("slot 1 state %d after detach", tab.SlotState(1))
+	}
+	// Detached slots are reclaimable; the attach counter keeps history.
+	if err := tab.Claim(1, 77); err != nil {
+		t.Fatalf("reclaim of detached slot: %v", err)
+	}
+	if tab.Attaches(1) != 2 {
+		t.Fatalf("slot 1 attach count %d, want 2", tab.Attaches(1))
+	}
+
+	// The claimed slot's rings are live in both handles.
+	down, err := tab.DownRing(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerDown, err := peer.DownRing(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := down.Push(shm.Record{Off: 640, Len: 33, Tag: 2}, time.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := peerDown.Pop(time.Now().Add(time.Second))
+	if err != nil || rec.Off != 640 || rec.Len != 33 || rec.Tag != 2 {
+		t.Fatalf("cross-handle pop: %+v, %v", rec, err)
+	}
+}
+
+// TestSegmentAttachChurnRace drives the full cross-process contention
+// pattern inside one address space (goroutine peers over a heap
+// segment, so the race detector can see every access): N children
+// repeatedly claim a table slot, run loan/view-shaped ring traffic
+// through it, and detach — while the parent facility, whose arena
+// lives in the *same* segment, allocates and frees payload chains the
+// whole time. Run under -race in CI.
+func TestSegmentAttachChurnRace(t *testing.T) {
+	const (
+		nSlots  = 4
+		ringCap = 8
+		rounds  = 30
+	)
+	acfg := shm.Config{BlockSize: 64, NumBlocks: 256, Spans: true}
+	tableOff := int64(64)
+	arenaOff := shm.AlignUp(tableOff + SegTableBytes(nSlots, ringCap))
+	seg, err := shm.NewSegment(arenaOff + shm.AlignUp(acfg.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	tab, err := InitSegTable(seg, tableOff, nSlots, ringCap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena, err := shm.NewAt(acfg, seg.At(arenaOff, acfg.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// The parent: continuous allocator traffic against the shared
+	// region, plus the echo service on every slot's down ring.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			head, _, err := arena.AllocPayload(200, false, nil)
+			if err != nil {
+				continue
+			}
+			arena.WriteChain(head, make([]byte, 200))
+			arena.FreeChain(head)
+		}
+	}()
+	for i := 0; i < nSlots; i++ {
+		up, err := tab.UpRing(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		down, err := tab.DownRing(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				rec, ok, err := up.TryPop()
+				if err != nil {
+					return
+				}
+				if !ok {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+				if err := down.Push(rec, time.Now().Add(5*time.Second)); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	// The children: claim → ring round-trips → detach, in a loop, all
+	// through their own AttachSegTable handles.
+	var childWG sync.WaitGroup
+	for c := 0; c < nSlots*2; c++ {
+		childWG.Add(1)
+		go func(c int) {
+			defer childWG.Done()
+			peer, err := AttachSegTable(seg, tableOff, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				slot, err := peer.ClaimAny(uint32(c))
+				if err != nil {
+					time.Sleep(100 * time.Microsecond)
+					continue
+				}
+				up, err1 := peer.UpRing(slot)
+				down, err2 := peer.DownRing(slot)
+				if err1 != nil || err2 != nil {
+					t.Errorf("child %d rings: %v %v", c, err1, err2)
+					peer.Detach(slot)
+					return
+				}
+				want := shm.Record{Off: int64(c*1000 + r), Len: int32(r), Tag: uint16(c)}
+				if err := up.Push(want, time.Now().Add(5*time.Second)); err != nil {
+					t.Errorf("child %d push: %v", c, err)
+					peer.Detach(slot)
+					return
+				}
+				got, err := down.Pop(time.Now().Add(5 * time.Second))
+				if err != nil || got != want {
+					t.Errorf("child %d echo: %+v, %v (want %+v)", c, got, err, want)
+					peer.Detach(slot)
+					return
+				}
+				peer.Detach(slot)
+			}
+		}(c)
+	}
+
+	childWG.Wait()
+	close(stop)
+	wg.Wait()
+	if err := arena.CheckFreeList(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nSlots; i++ {
+		if s := tab.SlotState(i); s == SlotAttached {
+			t.Fatalf("slot %d still attached after churn", i)
+		}
+	}
+}

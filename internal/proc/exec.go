@@ -1,0 +1,178 @@
+package proc
+
+// Real OS process groups. Group runs the paper's "group of Unix
+// processes" as goroutines — the right default for a Go port — but the
+// cross-process arena needs the genuine article: children with their
+// own address spaces, connected to the parent only by an inherited
+// unix-domain socket over which the segment fd and attach handshake
+// travel (shm.SendSegment/RecvSegment). ExecGroup supplies that:
+// StartGroup forks+execs N children, each with its half of a
+// socketpair installed as ChildConnFd, and Wait joins them with a
+// deadline and a kill escalation — a child that wedges cannot hang CI.
+//
+// The exec machinery is portable Go (os/exec, net.FileConn); only the
+// segment that usually travels over the socket is Linux-gated. On
+// platforms without a shared segment backend an ExecGroup still works
+// as a plain process harness.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// ChildConnFd is the file descriptor number at which every spawned
+// child inherits its parent socket (fd 3: the first ExtraFiles slot).
+const ChildConnFd = 3
+
+// Child is one spawned OS process and the parent's socket to it.
+type Child struct {
+	// Index is the child's rank in the group (0..N-1).
+	Index int
+	// Cmd is the underlying process handle.
+	Cmd *exec.Cmd
+	// Conn is the parent's end of the handshake socket.
+	Conn *net.UnixConn
+
+	waitErr chan error
+}
+
+// ExecGroup is a set of exec-spawned children sharing a parent.
+type ExecGroup struct {
+	children []*Child
+}
+
+// socketpairConn builds a connected pair: a *net.UnixConn for the
+// parent and an *os.File for the child's ExtraFiles slot.
+func socketpairConn() (*net.UnixConn, *os.File, error) {
+	parentF, childF, err := unixSocketpair()
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := net.FileConn(parentF)
+	parentF.Close() // FileConn dup'ed it
+	if err != nil {
+		childF.Close()
+		return nil, nil, err
+	}
+	uc, ok := c.(*net.UnixConn)
+	if !ok {
+		c.Close()
+		childF.Close()
+		return nil, nil, fmt.Errorf("proc: socketpair conn is %T, want *net.UnixConn", c)
+	}
+	return uc, childF, nil
+}
+
+// StartGroup spawns n children running bin with the given args. Each
+// child receives its rank via the MPF_PROC_INDEX environment variable
+// and its handshake socket at ChildConnFd. Children inherit the
+// parent's environment plus extraEnv, and their stderr; stdout is
+// passed through too, so demo children can narrate. On any spawn
+// failure the already-started children are killed.
+func StartGroup(n int, bin string, args []string, extraEnv []string) (*ExecGroup, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("proc: exec group size %d", n)
+	}
+	g := &ExecGroup{}
+	for i := 0; i < n; i++ {
+		conn, childF, err := socketpairConn()
+		if err != nil {
+			g.Kill()
+			return nil, err
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Env = append(append(os.Environ(), extraEnv...), fmt.Sprintf("MPF_PROC_INDEX=%d", i))
+		cmd.ExtraFiles = []*os.File{childF}
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			conn.Close()
+			childF.Close()
+			g.Kill()
+			return nil, fmt.Errorf("proc: spawning child %d: %w", i, err)
+		}
+		childF.Close() // child holds its own copy now
+		ch := &Child{Index: i, Cmd: cmd, Conn: conn, waitErr: make(chan error, 1)}
+		go func() { ch.waitErr <- cmd.Wait() }()
+		g.children = append(g.children, ch)
+	}
+	return g, nil
+}
+
+// N returns the group size.
+func (g *ExecGroup) N() int { return len(g.children) }
+
+// Child returns the i'th child.
+func (g *ExecGroup) Child(i int) *Child { return g.children[i] }
+
+// ParentConn returns this process's end of the handshake socket when
+// running *as* a spawned child (the counterpart of StartGroup's
+// ExtraFiles plumbing), plus the child's group index.
+func ParentConn() (*net.UnixConn, int, error) {
+	idx := -1
+	if s := os.Getenv("MPF_PROC_INDEX"); s != "" {
+		fmt.Sscanf(s, "%d", &idx)
+	}
+	f := os.NewFile(uintptr(ChildConnFd), "mpf-parent-conn")
+	if f == nil {
+		return nil, idx, fmt.Errorf("proc: no inherited socket at fd %d", ChildConnFd)
+	}
+	c, err := net.FileConn(f)
+	f.Close()
+	if err != nil {
+		return nil, idx, fmt.Errorf("proc: inherited fd %d is not a socket: %w", ChildConnFd, err)
+	}
+	uc, ok := c.(*net.UnixConn)
+	if !ok {
+		c.Close()
+		return nil, idx, fmt.Errorf("proc: inherited socket is %T, want unix", c)
+	}
+	return uc, idx, nil
+}
+
+// Wait joins every child, enforcing the deadline: children still
+// running when it expires are killed and reported as an error. The
+// first failing child (by index) determines the returned error.
+func (g *ExecGroup) Wait(timeout time.Duration) error {
+	deadline := time.After(timeout)
+	errs := make([]error, len(g.children))
+	for i, ch := range g.children {
+		select {
+		case err := <-ch.waitErr:
+			errs[i] = err
+		case <-deadline:
+			g.Kill()
+			return fmt.Errorf("proc: child %d still running after %v (group killed)", i, timeout)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("proc: child %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Kill terminates every child that is still running and closes the
+// parent sockets.
+func (g *ExecGroup) Kill() {
+	for _, ch := range g.children {
+		if ch.Cmd.Process != nil {
+			ch.Cmd.Process.Kill()
+		}
+		ch.Conn.Close()
+	}
+}
+
+// CloseConns closes the parent's handshake sockets without touching
+// the processes — once the segment has been handed over the socket's
+// job is done, and a child blocked reading it learns the parent is
+// gone.
+func (g *ExecGroup) CloseConns() {
+	for _, ch := range g.children {
+		ch.Conn.Close()
+	}
+}

@@ -1,0 +1,98 @@
+//go:build unix
+
+package proc
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestMain doubles the test binary as the spawn target: when re-exec'd
+// with MPF_PROC_HELPER set it behaves as a child process instead of a
+// test runner — the standard trick for exercising real process spawn
+// inside go test.
+func TestMain(m *testing.M) {
+	switch os.Getenv("MPF_PROC_HELPER") {
+	case "":
+		os.Exit(m.Run())
+	case "echo":
+		conn, idx, err := ParentConn()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		buf := make([]byte, 32)
+		n, err := conn.Read(buf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if _, err := conn.Write([]byte(fmt.Sprintf("child %d got %s", idx, buf[:n]))); err != nil {
+			os.Exit(2)
+		}
+		os.Exit(0)
+	case "hang":
+		select {}
+	default:
+		os.Exit(3)
+	}
+}
+
+func TestExecGroupRoundTrip(t *testing.T) {
+	g, err := StartGroup(3, os.Args[0], nil, []string{"MPF_PROC_HELPER=echo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N(); i++ {
+		ch := g.Child(i)
+		if ch.Index != i {
+			t.Fatalf("child %d carries index %d", i, ch.Index)
+		}
+		if _, err := ch.Conn.Write([]byte(fmt.Sprintf("ping-%d", i))); err != nil {
+			t.Fatalf("write to child %d: %v", i, err)
+		}
+	}
+	for i := 0; i < g.N(); i++ {
+		buf := make([]byte, 64)
+		g.Child(i).Conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		n, err := g.Child(i).Conn.Read(buf)
+		if err != nil {
+			t.Fatalf("read from child %d: %v", i, err)
+		}
+		want := fmt.Sprintf("child %d got ping-%d", i, i)
+		if string(buf[:n]) != want {
+			t.Fatalf("child %d replied %q, want %q", i, buf[:n], want)
+		}
+	}
+	if err := g.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecGroupWaitTimeout(t *testing.T) {
+	g, err := StartGroup(1, os.Args[0], nil, []string{"MPF_PROC_HELPER=hang"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := g.Wait(200 * time.Millisecond); err == nil {
+		t.Fatal("Wait returned nil for a hung child")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Wait did not enforce its deadline")
+	}
+	// The kill escalation must actually reap the child.
+	select {
+	case <-g.Child(0).waitErr:
+	case <-time.After(5 * time.Second):
+		t.Fatal("killed child never reaped")
+	}
+}
+
+func TestExecGroupSpawnFailure(t *testing.T) {
+	if _, err := StartGroup(2, "/nonexistent/mpf-no-such-binary", nil, nil); err == nil {
+		t.Fatal("spawn of a nonexistent binary succeeded")
+	}
+}

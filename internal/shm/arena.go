@@ -145,20 +145,44 @@ func SizeFor(maxLNVCs, maxProcs, blockSize, msgBlocksPerProc int) Config {
 	return Config{BlockSize: blockSize, NumBlocks: n}
 }
 
-// New creates an arena with the given configuration.
+// Bytes returns the region size the configuration occupies — what a
+// caller carving an arena out of a shared segment must reserve for
+// NewAt. The +1 burns offset 0 so NilOffset stays unmistakably
+// invalid.
+func (cfg Config) Bytes() int64 {
+	return int64(cfg.BlockSize) * int64(cfg.NumBlocks+1)
+}
+
+// New creates an arena over a fresh process-private region.
 func New(cfg Config) (*Arena, error) {
-	if cfg.BlockSize < MinBlockSize {
-		return nil, fmt.Errorf("shm: block size %d below minimum %d", cfg.BlockSize, MinBlockSize)
+	if err := cfg.check(); err != nil {
+		return nil, err
 	}
-	if cfg.NumBlocks < 1 {
-		return nil, fmt.Errorf("shm: need at least 1 block, got %d", cfg.NumBlocks)
+	return NewAt(cfg, make([]byte, cfg.Bytes()))
+}
+
+// NewAt creates an arena over caller-provided memory — the segment
+// window that makes the region truly shared: point it at
+// Segment.At(arenaOff, cfg.Bytes()) and every offset the arena hands
+// out (message chains, loan spans, view payloads) is resolvable by any
+// process that mapped the same segment. mem must be cfg.Bytes() long
+// and zeroed (fresh segments are).
+//
+// Only the block *bytes* live in mem. The allocator's own state — the
+// free bitmap, span lengths, the spinlock, waiter bookkeeping — stays
+// in this process's heap: the arena has exactly one allocating owner
+// (the serving parent), and attached peers only dereference offsets
+// they were handed over a ring. See DESIGN.md §15 for why the
+// single-allocator model is the right cut.
+func NewAt(cfg Config, mem []byte) (*Arena, error) {
+	if err := cfg.check(); err != nil {
+		return nil, err
 	}
-	total := int64(cfg.BlockSize) * int64(cfg.NumBlocks+1) // +1 burns offset 0
-	if total > 1<<31-1 {
-		return nil, fmt.Errorf("shm: region of %d bytes exceeds 2 GiB offset space", total)
+	if int64(len(mem)) != cfg.Bytes() {
+		return nil, fmt.Errorf("shm: arena region is %d bytes, config needs %d", len(mem), cfg.Bytes())
 	}
 	a := &Arena{
-		mem:       make([]byte, total),
+		mem:       mem,
 		blockSize: int32(cfg.BlockSize),
 		nBlocks:   int32(cfg.NumBlocks),
 		spans:     cfg.Spans,
@@ -186,6 +210,20 @@ func New(cfg Config) (*Arena, error) {
 	}
 	a.nFree = a.nBlocks
 	return a, nil
+}
+
+// check validates a configuration's block geometry.
+func (cfg Config) check() error {
+	if cfg.BlockSize < MinBlockSize {
+		return fmt.Errorf("shm: block size %d below minimum %d", cfg.BlockSize, MinBlockSize)
+	}
+	if cfg.NumBlocks < 1 {
+		return fmt.Errorf("shm: need at least 1 block, got %d", cfg.NumBlocks)
+	}
+	if cfg.Bytes() > 1<<31-1 {
+		return fmt.Errorf("shm: region of %d bytes exceeds 2 GiB offset space", cfg.Bytes())
+	}
+	return nil
 }
 
 // Spans reports whether the arena runs in contiguous-span mode.

@@ -1,0 +1,49 @@
+//go:build linux
+
+package shm
+
+// The futex half of the cross-process waiter protocol. FUTEX_WAIT and
+// FUTEX_WAKE operate on a 4-byte word; with the word living inside a
+// MAP_SHARED segment (and without FUTEX_PRIVATE_FLAG) the kernel keys
+// the wait queue by physical page, so a waiter in one process is woken
+// by a poster in another — the cross-process replacement for the
+// Go-level mutex/cond waiter lists that cannot leave their runtime.
+
+import (
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+const (
+	futexWaitOp = 0 // FUTEX_WAIT, shared (no FUTEX_PRIVATE_FLAG)
+	futexWakeOp = 1 // FUTEX_WAKE, shared
+)
+
+// futexSupported reports whether futexWait really sleeps in the kernel
+// (true here) or is the polling fallback (futex_stub.go).
+const futexSupported = true
+
+// futexWait blocks until the word at addr differs from val, a wakeup
+// arrives, or the timeout (0 = none) expires. Spurious returns are
+// allowed and expected — callers always re-check their predicate.
+func futexWait(addr *uint32, val uint32, timeout time.Duration) {
+	var tsp *syscall.Timespec
+	if timeout > 0 {
+		ts := syscall.NsecToTimespec(int64(timeout))
+		tsp = &ts
+	}
+	// EAGAIN (word already changed), EINTR and ETIMEDOUT are all
+	// normal: the caller's re-check loop handles every case.
+	syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexWaitOp, uintptr(val),
+		uintptr(unsafe.Pointer(tsp)), 0, 0)
+}
+
+// futexWake wakes up to n waiters sleeping on the word at addr,
+// returning the number woken.
+func futexWake(addr *uint32, n int) int {
+	woken, _, _ := syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexWakeOp, uintptr(n), 0, 0, 0)
+	return int(woken)
+}

@@ -1,0 +1,27 @@
+//go:build !linux
+
+package shm
+
+// Polling fallback for platforms without futexes. NotifyWord's wait
+// loop re-checks its word after every futexWait return, so a bounded
+// sleep gives correct (if less efficient) blocking semantics: the
+// heap backend is single-process anyway and only uses this between
+// goroutines.
+
+import "time"
+
+const futexSupported = false
+
+// fallbackPoll bounds how stale a missed wakeup can leave a waiter
+// when the platform cannot sleep on the word itself.
+const fallbackPoll = 200 * time.Microsecond
+
+func futexWait(addr *uint32, val uint32, timeout time.Duration) {
+	d := fallbackPoll
+	if timeout > 0 && timeout < d {
+		d = timeout
+	}
+	time.Sleep(d)
+}
+
+func futexWake(addr *uint32, n int) int { return 0 }

@@ -1,0 +1,115 @@
+package shm
+
+// The attach handshake. A child process that receives the segment fd
+// knows nothing about what is inside the region, so the fd travels
+// with a small fixed-size frame describing the layout: where the
+// descriptor table and the arena start, how the arena is carved
+// (block size, block count, span mode), which table slot the child
+// should claim, and a protocol generation stamped by the parent at
+// serve time. The generation is the staleness guard: it is also
+// written into the segment's table header, and AttachSegTable refuses
+// a mismatch — a child launched against one serve instance cannot
+// attach a recycled or restarted segment whose layout it would
+// misread.
+//
+// The frame is versioned and little-endian with explicit fixed-width
+// fields, so parent and child binaries built from different trees fail
+// cleanly (ErrHandshakeVersion) instead of silently disagreeing about
+// the region's layout.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HandshakeVersion is the current attach-protocol version. Bump it
+// whenever the frame layout or the in-segment structures it describes
+// change incompatibly.
+const HandshakeVersion = 1
+
+// HandshakeBytes is the fixed wire size of an encoded handshake.
+const HandshakeBytes = 56
+
+const handshakeMagic = 0x3146504D // "MPF1"
+
+// ErrHandshakeVersion is returned when the peer speaks a different
+// attach-protocol version (or is not MPF at all).
+var ErrHandshakeVersion = errors.New("shm: attach handshake version mismatch")
+
+// Handshake flag bits.
+const (
+	// HandshakeSpans marks an arena in contiguous-span mode.
+	HandshakeSpans = 1 << 0
+)
+
+// Handshake describes a segment to an attaching process.
+type Handshake struct {
+	// Generation stamps the serving facility instance; it must match
+	// the generation in the segment's table header.
+	Generation uint64
+	// SegSize is the full segment length — cross-checked against the
+	// received fd's own size before mapping.
+	SegSize int64
+	// TableOff is the segment offset of the descriptor table header.
+	TableOff int64
+	// ArenaOff is the segment offset of the block arena's first byte.
+	ArenaOff int64
+	// BlockSize and NumBlocks describe the arena carving, so the child
+	// can validate ring descriptors against block bounds.
+	BlockSize int32
+	NumBlocks int32
+	// Slot is the table slot assigned to this child.
+	Slot int32
+	// Flags carries HandshakeSpans and future layout bits.
+	Flags uint32
+}
+
+// Spans reports whether the described arena runs in span mode.
+func (h Handshake) Spans() bool { return h.Flags&HandshakeSpans != 0 }
+
+// Encode serializes h into its fixed HandshakeBytes wire form.
+func (h Handshake) Encode() []byte {
+	b := make([]byte, HandshakeBytes)
+	binary.LittleEndian.PutUint32(b[0:4], handshakeMagic)
+	binary.LittleEndian.PutUint32(b[4:8], HandshakeVersion)
+	binary.LittleEndian.PutUint64(b[8:16], h.Generation)
+	binary.LittleEndian.PutUint64(b[16:24], uint64(h.SegSize))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(h.TableOff))
+	binary.LittleEndian.PutUint64(b[32:40], uint64(h.ArenaOff))
+	binary.LittleEndian.PutUint32(b[40:44], uint32(h.BlockSize))
+	binary.LittleEndian.PutUint32(b[44:48], uint32(h.NumBlocks))
+	binary.LittleEndian.PutUint32(b[48:52], uint32(h.Slot))
+	binary.LittleEndian.PutUint32(b[52:56], h.Flags)
+	return b
+}
+
+// DecodeHandshake parses a received frame, validating magic, version
+// and basic field sanity.
+func DecodeHandshake(b []byte) (Handshake, error) {
+	if len(b) < HandshakeBytes {
+		return Handshake{}, fmt.Errorf("shm: short handshake frame (%d of %d bytes)", len(b), HandshakeBytes)
+	}
+	if m := binary.LittleEndian.Uint32(b[0:4]); m != handshakeMagic {
+		return Handshake{}, fmt.Errorf("shm: bad handshake magic %#x: %w", m, ErrHandshakeVersion)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != HandshakeVersion {
+		return Handshake{}, fmt.Errorf("shm: handshake version %d, want %d: %w", v, HandshakeVersion, ErrHandshakeVersion)
+	}
+	h := Handshake{
+		Generation: binary.LittleEndian.Uint64(b[8:16]),
+		SegSize:    int64(binary.LittleEndian.Uint64(b[16:24])),
+		TableOff:   int64(binary.LittleEndian.Uint64(b[24:32])),
+		ArenaOff:   int64(binary.LittleEndian.Uint64(b[32:40])),
+		BlockSize:  int32(binary.LittleEndian.Uint32(b[40:44])),
+		NumBlocks:  int32(binary.LittleEndian.Uint32(b[44:48])),
+		Slot:       int32(binary.LittleEndian.Uint32(b[48:52])),
+		Flags:      binary.LittleEndian.Uint32(b[52:56]),
+	}
+	if h.SegSize <= 0 || h.TableOff < 0 || h.ArenaOff < 0 ||
+		h.TableOff >= h.SegSize || h.ArenaOff >= h.SegSize ||
+		h.BlockSize < MinBlockSize || h.NumBlocks < 1 || h.Slot < 0 {
+		return Handshake{}, fmt.Errorf("shm: handshake describes an impossible layout (%+v)", h)
+	}
+	return h, nil
+}

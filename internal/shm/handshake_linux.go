@@ -1,0 +1,93 @@
+//go:build linux && (amd64 || arm64)
+
+package shm
+
+// The fd-passing half of the attach handshake: the parent sends the
+// handshake frame over a unix-domain socket with the segment's memfd
+// riding along as SCM_RIGHTS ancillary data; the kernel duplicates the
+// descriptor into the child, which maps the very same pages. This is
+// the one moment the two processes share anything besides the segment
+// itself — after RecvSegment returns, the socket can close and all
+// further communication happens through segment words and futexes.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"syscall"
+)
+
+// SendSegment writes the handshake frame over conn with the segment's
+// backing fd attached as SCM_RIGHTS rights. The segment must be a
+// shared (memfd) segment; h.SegSize is filled in from the segment.
+func SendSegment(conn *net.UnixConn, seg *Segment, h Handshake) error {
+	f := seg.File()
+	if f == nil {
+		return fmt.Errorf("shm: cannot pass a %s segment between processes: %w", seg.Kind(), ErrNoSharedBackend)
+	}
+	h.SegSize = seg.Size()
+	rights := syscall.UnixRights(int(f.Fd()))
+	n, oobn, err := conn.WriteMsgUnix(h.Encode(), rights, nil)
+	if err != nil {
+		return fmt.Errorf("shm: sending segment handshake: %w", err)
+	}
+	if n != HandshakeBytes || oobn != len(rights) {
+		return fmt.Errorf("shm: short handshake send (%d/%d bytes, %d/%d oob)", n, HandshakeBytes, oobn, len(rights))
+	}
+	return nil
+}
+
+// RecvSegment receives a handshake frame and its accompanying segment
+// fd, maps the segment, and cross-checks the mapped size against the
+// frame. The returned segment owns the received descriptor.
+func RecvSegment(conn *net.UnixConn) (*Segment, Handshake, error) {
+	buf := make([]byte, HandshakeBytes)
+	oob := make([]byte, syscall.CmsgSpace(4))
+	n, oobn, _, _, err := conn.ReadMsgUnix(buf, oob)
+	if err != nil {
+		return nil, Handshake{}, fmt.Errorf("shm: receiving segment handshake: %w", err)
+	}
+	h, err := DecodeHandshake(buf[:n])
+	if err != nil {
+		return nil, Handshake{}, err
+	}
+	fd, err := rightsFd(oob[:oobn])
+	if err != nil {
+		return nil, Handshake{}, err
+	}
+	syscall.CloseOnExec(fd)
+	f := os.NewFile(uintptr(fd), "memfd:attached")
+	seg, err := AttachSharedSegment(f)
+	if err != nil {
+		f.Close()
+		return nil, Handshake{}, err
+	}
+	if seg.Size() != h.SegSize {
+		seg.Close()
+		return nil, Handshake{}, fmt.Errorf("shm: handshake claims %d-byte segment, fd maps %d", h.SegSize, seg.Size())
+	}
+	return seg, h, nil
+}
+
+// rightsFd extracts the single passed descriptor from SCM_RIGHTS
+// ancillary data.
+func rightsFd(oob []byte) (int, error) {
+	cmsgs, err := syscall.ParseSocketControlMessage(oob)
+	if err != nil {
+		return -1, fmt.Errorf("shm: parsing handshake rights: %w", err)
+	}
+	for _, cm := range cmsgs {
+		fds, err := syscall.ParseUnixRights(&cm)
+		if err != nil {
+			continue
+		}
+		if len(fds) != 1 {
+			for _, fd := range fds {
+				syscall.Close(fd)
+			}
+			return -1, fmt.Errorf("shm: handshake carried %d descriptors, want 1", len(fds))
+		}
+		return fds[0], nil
+	}
+	return -1, fmt.Errorf("shm: handshake carried no segment descriptor")
+}

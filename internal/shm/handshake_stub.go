@@ -1,0 +1,19 @@
+//go:build !linux || !(amd64 || arm64)
+
+package shm
+
+// fd passing requires the memfd backend; elsewhere the handshake
+// encodes and decodes fine (DecodeHandshake is portable) but there is
+// no segment to pass.
+
+import "net"
+
+// SendSegment is unavailable off Linux.
+func SendSegment(conn *net.UnixConn, seg *Segment, h Handshake) error {
+	return ErrNoSharedBackend
+}
+
+// RecvSegment is unavailable off Linux.
+func RecvSegment(conn *net.UnixConn) (*Segment, Handshake, error) {
+	return nil, Handshake{}, ErrNoSharedBackend
+}

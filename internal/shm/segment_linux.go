@@ -1,0 +1,98 @@
+//go:build linux && (amd64 || arm64)
+
+package shm
+
+// The Linux shared backend: memfd_create + mmap(MAP_SHARED). A memfd
+// is an anonymous file living entirely in page cache — exactly the
+// "region of physical memory" the paper maps into every process, with
+// the file descriptor as its capability. The parent creates and sizes
+// it, children receive the fd over a unix socket (handshake_linux.go)
+// and map the same pages at whatever base address their own mmap picks;
+// offset addressing (the arena's int32 offsets, the table and ring
+// offsets in the handshake) makes the differing bases invisible.
+//
+// The raw syscall numbers are spelled out per-arch (sysnum_linux_*.go)
+// because memfd_create postdates the frozen syscall package tables and
+// the module deliberately has no external dependencies.
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+const mfdCloexec = 0x1 // MFD_CLOEXEC
+
+type memfdFile struct {
+	f *os.File
+}
+
+func (m *memfdFile) Fd() uintptr { return m.f.Fd() }
+func (m *memfdFile) Close() error {
+	return m.f.Close()
+}
+
+// NewSharedSegment creates a memfd-backed segment of the given size,
+// mapped MAP_SHARED into this process. name labels the fd in
+// /proc/self/fd for debugging only.
+func NewSharedSegment(name string, size int64) (*Segment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("shm: segment of %d bytes", size)
+	}
+	cname, err := syscall.BytePtrFromString(name)
+	if err != nil {
+		return nil, err
+	}
+	fd, _, errno := syscall.Syscall(sysMemfdCreate, uintptr(unsafe.Pointer(cname)), mfdCloexec, 0)
+	if errno != 0 {
+		return nil, fmt.Errorf("shm: memfd_create: %w", errno)
+	}
+	f := os.NewFile(fd, "memfd:"+name)
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shm: sizing memfd segment: %w", err)
+	}
+	return mapSegment(f, size)
+}
+
+// AttachSharedSegment maps an already-created segment from its file
+// descriptor — the child half of the fd-passing handshake. The segment
+// size is read from the file itself; the handshake's size field is
+// checked against it by the caller. AttachSharedSegment takes
+// ownership of f (Close unmaps and closes it).
+func AttachSharedSegment(f *os.File) (*Segment, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("shm: sizing attached segment: %w", err)
+	}
+	if st.Size() <= 0 {
+		return nil, fmt.Errorf("shm: attached segment has size %d", st.Size())
+	}
+	return mapSegment(f, st.Size())
+}
+
+func mapSegment(f *os.File, size int64) (*Segment, error) {
+	mem, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shm: mapping segment: %w", err)
+	}
+	return &Segment{mem: mem, kind: MemfdSegment, osFile: &memfdFile{f: f}}, nil
+}
+
+// File returns the backing memfd for fd passing, or nil for heap
+// segments.
+func (s *Segment) File() *os.File {
+	if m, ok := s.osFile.(*memfdFile); ok {
+		return m.f
+	}
+	return nil
+}
+
+func (s *Segment) unmap() error {
+	mem := s.mem
+	s.mem = nil
+	return syscall.Munmap(mem)
+}

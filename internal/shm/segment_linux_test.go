@@ -1,0 +1,105 @@
+//go:build linux && (amd64 || arm64)
+
+package shm
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSharedSegmentAliasing maps the same memfd twice in one process —
+// the in-process stand-in for two processes' independent mappings —
+// and checks that writes through one mapping are visible through the
+// other at the same *offset* even though the base addresses differ.
+func TestSharedSegmentAliasing(t *testing.T) {
+	seg, err := NewSharedSegment("mpf-test", 1<<16)
+	if err != nil {
+		if errors.Is(err, ErrNoSharedBackend) {
+			t.Skip("no shared backend")
+		}
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	if !seg.Shared() || seg.Kind() != MemfdSegment {
+		t.Fatalf("shared segment reports kind=%v", seg.Kind())
+	}
+
+	dup, err := syscall.Dup(int(seg.File().Fd()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := AttachSharedSegment(os.NewFile(uintptr(dup), "memfd:dup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	if peer.Size() != seg.Size() {
+		t.Fatalf("peer mapped %d bytes, creator %d", peer.Size(), seg.Size())
+	}
+
+	copy(seg.At(4096, 8), "offsets!")
+	if got := peer.At(4096, 8); !bytes.Equal(got, []byte("offsets!")) {
+		t.Fatalf("peer mapping reads %q at offset 4096", got)
+	}
+	seg.Atomic32(8192).Store(7)
+	if peer.Atomic32(8192).Load() != 7 {
+		t.Fatal("atomic store not visible through peer mapping")
+	}
+	peer.Atomic32(8192).Add(1)
+	if seg.Atomic32(8192).Load() != 8 {
+		t.Fatal("peer atomic add not visible through creator mapping")
+	}
+
+	if err := peer.Close(); err != nil {
+		t.Fatalf("peer close: %v", err)
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatalf("creator close: %v", err)
+	}
+}
+
+// TestNotifyAcrossMappings runs the futex waiter protocol between two
+// mappings of the same segment: the waker posts through one mapping,
+// the waiter sleeps on the other's address for the same physical word.
+func TestNotifyAcrossMappings(t *testing.T) {
+	seg, err := NewSharedSegment("mpf-notify", 4096)
+	if err != nil {
+		if errors.Is(err, ErrNoSharedBackend) {
+			t.Skip("no shared backend")
+		}
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	dup, err := syscall.Dup(int(seg.File().Fd()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := AttachSharedSegment(os.NewFile(uintptr(dup), "memfd:dup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	w1 := NotifyAt(seg, 64)
+	w2 := NotifyAt(peer, 64)
+	done := make(chan uint32, 1)
+	old := w2.Load()
+	go func() {
+		v, _ := w2.Wait(old, time.Time{})
+		done <- v
+	}()
+	time.Sleep(5 * time.Millisecond) // let the waiter reach the futex
+	w1.Post()
+	select {
+	case v := <-done:
+		if v != old+1 {
+			t.Fatalf("waiter saw count %d, want %d", v, old+1)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cross-mapping wakeup never arrived")
+	}
+}

@@ -1,0 +1,26 @@
+//go:build !linux || !(amd64 || arm64)
+
+package shm
+
+// Portable stubs for the Linux-only shared backend: every platform
+// compiles and runs on heap segments; asking for a cross-process
+// segment reports ErrNoSharedBackend so callers can gate features
+// instead of crashing.
+
+import "os"
+
+// NewSharedSegment is unavailable off Linux: only the memfd backend
+// provides cross-process segments.
+func NewSharedSegment(name string, size int64) (*Segment, error) {
+	return nil, ErrNoSharedBackend
+}
+
+// AttachSharedSegment is unavailable off Linux.
+func AttachSharedSegment(f *os.File) (*Segment, error) {
+	return nil, ErrNoSharedBackend
+}
+
+// File returns nil: heap segments have no passable descriptor.
+func (s *Segment) File() *os.File { return nil }
+
+func (s *Segment) unmap() error { return nil }

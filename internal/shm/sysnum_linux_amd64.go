@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package shm
+
+// memfd_create postdates the frozen std syscall tables; its number is
+// arch-specific.
+const sysMemfdCreate = 319

@@ -1,0 +1,285 @@
+package shm
+
+// XRing: a single-producer single-consumer descriptor ring living
+// entirely inside a segment — the cross-process counterpart of the
+// fastpath Ring. Payload never travels through it: records carry
+// segment offsets into the shared arena (plus a tag and a user word),
+// so a parent and a child exchange multi-kilobyte messages by moving
+// 16-byte descriptors while the payload bytes sit still in the mapped
+// region — zero copies across the process boundary.
+//
+// Synchronization is two futex-backed NotifyWords: the producer
+// publishes records with a release store of the tail index and one
+// Post (one FUTEX_WAKE per publish or batch); the consumer parks on
+// the data word when the ring is empty, the producer parks on the
+// space word when it is full. All ring state (indices, closed flag,
+// records) is in the segment; only the stats handles are
+// process-local.
+//
+// Layout, all offsets 64-aligned so the producer's and consumer's hot
+// words never share a cache line across processes:
+//
+//	+0    magic, capacity (records, power of two)
+//	+64   tail  (producer-owned index, consumer-read)
+//	+128  head  (consumer-owned index, producer-read)
+//	+192  closed flag
+//	+256  data NotifyWord  (posted by producer)
+//	+320  space NotifyWord (posted by consumer)
+//	+384  records: capacity × 16 bytes
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrRingClosed is returned once a closed ring has drained (Pop) or
+// immediately (Push): the peer has detached or the facility is
+// shutting down.
+var ErrRingClosed = errors.New("shm: descriptor ring closed")
+
+// ErrRingTimeout is returned when a bounded Pop or Push expires.
+var ErrRingTimeout = errors.New("shm: descriptor ring wait timed out")
+
+const (
+	ringMagic    = 0x4D505252 // "MPRR"
+	ringHdrBytes = 384
+	// RecordBytes is the wire size of one descriptor.
+	RecordBytes = 16
+
+	ringOffMagic  = 0
+	ringOffCap    = 4
+	ringOffTail   = 64
+	ringOffHead   = 128
+	ringOffClosed = 192
+	ringOffData   = 256
+	ringOffSpace  = 320
+)
+
+// Record is one ring descriptor: a segment window plus protocol tag
+// and user word. The meaning of Tag/Word is the attaching protocol's
+// business (the proc facade uses Tag for message kinds and Word for
+// checksums/sequence numbers).
+type Record struct {
+	Off int64
+	Len int32
+	Tag uint16
+	// Word is a protocol scratch field (checksum, sequence, slot…).
+	Word uint16
+}
+
+// RingBytes returns the segment footprint of a ring with the given
+// capacity (which must be a power of two).
+func RingBytes(capacity int) int64 {
+	return ringHdrBytes + int64(capacity)*RecordBytes
+}
+
+// XRing is a process-local handle onto an in-segment SPSC ring. Each
+// side creates its own handle (InitRing in the segment's creator,
+// AttachRing everywhere else).
+type XRing struct {
+	seg  *Segment
+	base int64
+	mask uint32
+	data *NotifyWord // posted by producer after publishing
+	spc  *NotifyWord // posted by consumer after freeing space
+}
+
+// InitRing formats a ring at base (64-aligned) and returns a handle.
+// capacity must be a power of two; the ring's memory must be zeroed
+// (fresh segments are).
+func InitRing(seg *Segment, base int64, capacity int) (*XRing, error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("shm: ring capacity %d is not a power of two", capacity)
+	}
+	if base%64 != 0 {
+		return nil, fmt.Errorf("shm: ring base %d not 64-aligned", base)
+	}
+	if base+RingBytes(capacity) > seg.Size() {
+		return nil, fmt.Errorf("shm: ring of %d records at %d exceeds segment of %d bytes",
+			capacity, base, seg.Size())
+	}
+	seg.Atomic32(base + ringOffCap).Store(uint32(capacity))
+	seg.Atomic32(base + ringOffTail).Store(0)
+	seg.Atomic32(base + ringOffHead).Store(0)
+	seg.Atomic32(base + ringOffClosed).Store(0)
+	seg.Atomic32(base + ringOffMagic).Store(ringMagic)
+	return AttachRing(seg, base)
+}
+
+// AttachRing binds a handle to a ring previously formatted by
+// InitRing — possibly in another process's mapping of the same
+// segment.
+func AttachRing(seg *Segment, base int64) (*XRing, error) {
+	if base < 0 || base%64 != 0 || base+ringHdrBytes > seg.Size() {
+		return nil, fmt.Errorf("shm: ring base %d invalid for segment of %d bytes", base, seg.Size())
+	}
+	if seg.Atomic32(base+ringOffMagic).Load() != ringMagic {
+		return nil, fmt.Errorf("shm: no ring at segment offset %d", base)
+	}
+	capacity := seg.Atomic32(base + ringOffCap).Load()
+	if capacity < 2 || capacity&(capacity-1) != 0 || base+RingBytes(int(capacity)) > seg.Size() {
+		return nil, fmt.Errorf("shm: ring at %d has corrupt capacity %d", base, capacity)
+	}
+	return &XRing{
+		seg:  seg,
+		base: base,
+		mask: capacity - 1,
+		data: NotifyAt(seg, base+ringOffData),
+		spc:  NotifyAt(seg, base+ringOffSpace),
+	}, nil
+}
+
+// Cap returns the ring capacity in records.
+func (r *XRing) Cap() int { return int(r.mask + 1) }
+
+// Len returns the number of records currently queued (advisory: the
+// peer moves concurrently).
+func (r *XRing) Len() int {
+	return int(r.seg.Atomic32(r.base+ringOffTail).Load() - r.seg.Atomic32(r.base+ringOffHead).Load())
+}
+
+// Closed reports whether either side has closed the ring.
+func (r *XRing) Closed() bool { return r.seg.Atomic32(r.base+ringOffClosed).Load() != 0 }
+
+// Close marks the ring closed and wakes both sides. Either side may
+// close; records already published remain poppable (Pop drains, then
+// reports ErrRingClosed).
+func (r *XRing) Close() {
+	r.seg.Atomic32(r.base + ringOffClosed).Store(1)
+	r.data.Post()
+	r.spc.Post()
+}
+
+func (r *XRing) recSlot(i uint32) []byte {
+	return r.seg.At(r.base+ringHdrBytes+int64(i&r.mask)*RecordBytes, RecordBytes)
+}
+
+func putRecord(b []byte, rec Record) {
+	binary.LittleEndian.PutUint64(b[0:8], uint64(rec.Off))
+	binary.LittleEndian.PutUint32(b[8:12], uint32(rec.Len))
+	binary.LittleEndian.PutUint16(b[12:14], rec.Tag)
+	binary.LittleEndian.PutUint16(b[14:16], rec.Word)
+}
+
+func getRecord(b []byte) Record {
+	return Record{
+		Off:  int64(binary.LittleEndian.Uint64(b[0:8])),
+		Len:  int32(binary.LittleEndian.Uint32(b[8:12])),
+		Tag:  binary.LittleEndian.Uint16(b[12:14]),
+		Word: binary.LittleEndian.Uint16(b[14:16]),
+	}
+}
+
+// TryPush publishes rec if space is available, reporting whether it
+// did. Publishing is a record store followed by a release store of
+// tail and one Post.
+func (r *XRing) TryPush(rec Record) (bool, error) {
+	return r.tryPushN([]Record{rec})
+}
+
+func (r *XRing) tryPushN(recs []Record) (bool, error) {
+	if r.Closed() {
+		return false, ErrRingClosed
+	}
+	tail := r.seg.Atomic32(r.base + ringOffTail).Load()
+	head := r.seg.Atomic32(r.base + ringOffHead).Load()
+	if tail-head+uint32(len(recs)) > r.mask+1 {
+		return false, nil
+	}
+	for i, rec := range recs {
+		putRecord(r.recSlot(tail+uint32(i)), rec)
+	}
+	// The atomic store is the release barrier making the record bytes
+	// visible before the index moves; one Post per publish (or batch)
+	// is the single FUTEX_WAKE.
+	r.seg.Atomic32(r.base + ringOffTail).Store(tail + uint32(len(recs)))
+	r.data.Post()
+	return true, nil
+}
+
+// Push publishes rec, blocking while the ring is full (spin then
+// futex-wait on the space word). A zero deadline waits forever;
+// ErrRingTimeout reports expiry, ErrRingClosed a closed ring.
+func (r *XRing) Push(rec Record, deadline time.Time) error {
+	return r.PushBatch([]Record{rec}, deadline)
+}
+
+// PushBatch publishes all of recs in one ring transaction: one tail
+// store and one wake however many records — the cross-process
+// counterpart of the LoanBatch/SendBatch amortisation. The batch must
+// fit the ring's capacity.
+func (r *XRing) PushBatch(recs []Record, deadline time.Time) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if len(recs) > r.Cap() {
+		return fmt.Errorf("shm: batch of %d records exceeds ring capacity %d", len(recs), r.Cap())
+	}
+	for {
+		ok, err := r.tryPushN(recs)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		seen := r.spc.Load()
+		// Re-check after reading the token: a Post between the failed
+		// try and the Load is not missable now.
+		if ok, err := r.tryPushN(recs); err != nil || ok {
+			return err
+		}
+		if _, ok := r.spc.Wait(seen, deadline); !ok {
+			return ErrRingTimeout
+		}
+	}
+}
+
+// TryPop consumes the oldest record if one is available.
+func (r *XRing) TryPop() (Record, bool, error) {
+	head := r.seg.Atomic32(r.base + ringOffHead).Load()
+	tail := r.seg.Atomic32(r.base + ringOffTail).Load()
+	if head == tail {
+		if r.Closed() {
+			return Record{}, false, ErrRingClosed
+		}
+		return Record{}, false, nil
+	}
+	rec := getRecord(r.recSlot(head))
+	r.seg.Atomic32(r.base + ringOffHead).Store(head + 1)
+	r.spc.Post()
+	return rec, true, nil
+}
+
+// Pop consumes the oldest record, blocking while the ring is empty
+// (spin then futex-wait on the data word). A zero deadline waits
+// forever. A closed ring drains its queued records first, then
+// reports ErrRingClosed.
+func (r *XRing) Pop(deadline time.Time) (Record, error) {
+	for {
+		rec, ok, err := r.TryPop()
+		if err != nil {
+			return Record{}, err
+		}
+		if ok {
+			return rec, nil
+		}
+		seen := r.data.Load()
+		if rec, ok, err := r.TryPop(); err != nil || ok {
+			return rec, err
+		}
+		if _, ok := r.data.Wait(seen, deadline); !ok {
+			return Record{}, ErrRingTimeout
+		}
+	}
+}
+
+// WaitStats returns the waiter counters of this handle's two notify
+// words: data is what the consumer slept/spun on, space the
+// producer's. The cross-process ablation derives its busy-spin
+// metrics from these.
+func (r *XRing) WaitStats() (data, space WaitStats) {
+	return r.data.Stats(), r.spc.Stats()
+}

@@ -1,0 +1,175 @@
+package shm
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func ringPair(t *testing.T, capacity int) (*XRing, *XRing) {
+	t.Helper()
+	seg, err := NewSegment(4096 + RingBytes(capacity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { seg.Close() })
+	prod, err := InitRing(seg, 1024, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := AttachRing(seg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prod, cons
+}
+
+func TestRingPushPopWraparound(t *testing.T) {
+	prod, cons := ringPair(t, 4)
+	// 3× capacity forces wraparound of the 2-bit index space.
+	for round := 0; round < 12; round++ {
+		rec := Record{Off: int64(round * 64), Len: int32(round), Tag: uint16(round), Word: uint16(round * 3)}
+		ok, err := prod.TryPush(rec)
+		if err != nil || !ok {
+			t.Fatalf("round %d: TryPush = %v, %v", round, ok, err)
+		}
+		got, ok, err := cons.TryPop()
+		if err != nil || !ok {
+			t.Fatalf("round %d: TryPop = %v, %v", round, ok, err)
+		}
+		if got != rec {
+			t.Fatalf("round %d: popped %+v, pushed %+v", round, got, rec)
+		}
+	}
+	if _, ok, _ := cons.TryPop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+}
+
+func TestRingFullAndBatch(t *testing.T) {
+	prod, cons := ringPair(t, 4)
+	for i := 0; i < 4; i++ {
+		if ok, _ := prod.TryPush(Record{Off: int64(i)}); !ok {
+			t.Fatalf("push %d into empty ring failed", i)
+		}
+	}
+	if ok, _ := prod.TryPush(Record{}); ok {
+		t.Fatal("push into full ring succeeded")
+	}
+	if prod.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", prod.Len())
+	}
+	for i := 0; i < 4; i++ {
+		rec, ok, _ := cons.TryPop()
+		if !ok || rec.Off != int64(i) {
+			t.Fatalf("pop %d: %+v, %v", i, rec, ok)
+		}
+	}
+
+	batch := []Record{{Off: 10}, {Off: 20}, {Off: 30}}
+	if err := prod.PushBatch(batch, time.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range batch {
+		rec, err := cons.Pop(time.Now().Add(time.Second))
+		if err != nil || rec.Off != want.Off {
+			t.Fatalf("batch pop: %+v, %v", rec, err)
+		}
+	}
+	if err := prod.PushBatch(make([]Record, 5), time.Time{}); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+func TestRingBlockingHandoff(t *testing.T) {
+	prod, cons := ringPair(t, 8)
+	const n = 5000
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := prod.Push(Record{Off: int64(i), Word: uint16(i)}, time.Now().Add(10*time.Second)); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < n; i++ {
+		rec, err := cons.Pop(time.Now().Add(10 * time.Second))
+		if err != nil {
+			t.Fatalf("pop %d: %v", i, err)
+		}
+		if rec.Off != int64(i) {
+			t.Fatalf("pop %d: got Off %d (SPSC order violated)", i, rec.Off)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+	data, space := cons.WaitStats()
+	t.Logf("consumer stats: data=%+v space=%+v", data, space)
+}
+
+func TestRingTimeoutAndClose(t *testing.T) {
+	prod, cons := ringPair(t, 2)
+	if _, err := cons.Pop(time.Now().Add(20 * time.Millisecond)); !errors.Is(err, ErrRingTimeout) {
+		t.Fatalf("pop on empty ring: %v, want timeout", err)
+	}
+	prod.TryPush(Record{Off: 1})
+	prod.TryPush(Record{Off: 2})
+	if err := prod.Push(Record{Off: 3}, time.Now().Add(20*time.Millisecond)); !errors.Is(err, ErrRingTimeout) {
+		t.Fatalf("push into full ring: %v, want timeout", err)
+	}
+
+	prod.Close()
+	if err := prod.Push(Record{}, time.Time{}); !errors.Is(err, ErrRingClosed) {
+		t.Fatalf("push after close: %v", err)
+	}
+	// Queued records drain before the close is reported.
+	for want := int64(1); want <= 2; want++ {
+		rec, err := cons.Pop(time.Time{})
+		if err != nil || rec.Off != want {
+			t.Fatalf("drain pop: %+v, %v", rec, err)
+		}
+	}
+	if _, err := cons.Pop(time.Time{}); !errors.Is(err, ErrRingClosed) {
+		t.Fatalf("pop after drain: %v, want closed", err)
+	}
+}
+
+func TestRingAttachValidation(t *testing.T) {
+	seg, _ := NewSegment(RingBytes(8) + 128)
+	defer seg.Close()
+	if _, err := InitRing(seg, 0, 3); err == nil {
+		t.Fatal("non-power-of-two capacity accepted")
+	}
+	if _, err := InitRing(seg, 33, 8); err == nil {
+		t.Fatal("misaligned base accepted")
+	}
+	if _, err := InitRing(seg, 64, 1<<20); err == nil {
+		t.Fatal("oversized ring accepted")
+	}
+	if _, err := AttachRing(seg, 64); err == nil {
+		t.Fatal("attach to unformatted memory succeeded")
+	}
+	if _, err := InitRing(seg, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachRing(seg, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotifyDeadline(t *testing.T) {
+	seg, _ := NewSegment(256)
+	defer seg.Close()
+	n := NotifyAt(seg, 0)
+	start := time.Now()
+	v, ok := n.Wait(n.Load(), time.Now().Add(30*time.Millisecond))
+	if ok {
+		t.Fatalf("wait with no poster reported progress (v=%d)", v)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("deadline wait returned after %v", elapsed)
+	}
+}

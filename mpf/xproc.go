@@ -1,0 +1,539 @@
+package mpf
+
+// Cross-process MPF. The paper's facility served "a group of Unix
+// processes" sharing one mapped region; this file is that deployment
+// shape for the port. One process — the server — runs the full
+// facility over an arena carved out of a memfd segment (ServeProc).
+// Child processes receive the segment fd and a layout handshake over
+// an inherited unix socket (AttachProc), map the same physical pages
+// at their own base address, claim a descriptor-table slot, and from
+// then on speak only through in-segment SPSC rings whose records carry
+// segment offsets. Payload bytes are written and read in place in the
+// shared mapping — the copy ledger stays at zero across the process
+// boundary, which examples/procdemo and the CI cross-process leg
+// assert.
+//
+// The division of labour (DESIGN.md §15): the server owns the arena
+// allocator and every LNVC descriptor; children are raw segment peers.
+// A bridge goroutine per child translates between the facility's
+// zero-copy plane and the child's rings:
+//
+//	down:  Loan → fill → Commit → ReceiveView → ring VIEW record →
+//	       child reads payload in place, ACKs → Release
+//	up:    Loan → ring LOAN record → child fills payload in place,
+//	       FILLED → Commit → ReceiveView → verify → Release
+//
+// Both directions move every payload byte through the circuit exactly
+// once with zero copies on either side of the boundary.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/shm"
+)
+
+// Ring record tags of the bridge/worker protocol.
+const (
+	// XTagView announces a committed message's payload window to the
+	// child (down direction); Word is the payload checksum.
+	XTagView uint16 = 1
+	// XTagLoan offers the child an unfilled loan window to write (up
+	// direction); Word is the message sequence number.
+	XTagLoan uint16 = 2
+	// XTagAck acknowledges a VIEW after the child verified the payload
+	// in place; Word echoes the checksum.
+	XTagAck uint16 = 3
+	// XTagFilled reports a LOAN filled in place; Word is the checksum
+	// the child computed over what it wrote.
+	XTagFilled uint16 = 4
+	// XTagDone tells the child to detach and exit.
+	XTagDone uint16 = 5
+)
+
+// ErrNoSharedBackend re-exports the shm gate so callers can probe for
+// cross-process support without importing internal packages.
+var ErrNoSharedBackend = shm.ErrNoSharedBackend
+
+// xprocDeadline bounds every blocking ring operation of the bridge and
+// worker loops so a dead peer surfaces as an error, not a hang.
+const xprocDeadline = 30 * time.Second
+
+// ServeConfig parameterises ServeProc.
+type ServeConfig struct {
+	// Children is the number of descriptor-table slots (one per child
+	// process).
+	Children int
+	// RingCap is the per-direction ring capacity in records (power of
+	// two, default 64).
+	RingCap int
+	// Options configure the underlying facility exactly as New does.
+	Options []Option
+}
+
+// ProcServer is the serving side of a cross-process facility.
+type ProcServer struct {
+	fac      *Facility
+	seg      *shm.Segment
+	table    *core.SegTable
+	gen      uint64
+	tableOff int64
+	arenaOff int64
+	acfg     shm.Config
+	bridges  []bridgeState
+}
+
+type bridgeState struct {
+	send *SendConn
+	recv *RecvConn
+	down *shm.XRing
+	up   *shm.XRing
+}
+
+// ServeProc creates a memfd-backed facility ready for child processes:
+// segment, descriptor table, rings, and the facility itself with its
+// arena carved out of the segment. Fails with ErrNoSharedBackend where
+// the platform has no shared segments.
+func ServeProc(sc ServeConfig) (*ProcServer, error) {
+	if sc.Children < 1 {
+		return nil, fmt.Errorf("mpf: ServeProc with %d children", sc.Children)
+	}
+	if sc.RingCap == 0 {
+		sc.RingCap = 64
+	}
+	var cfg core.Config
+	for _, o := range sc.Options {
+		o(&cfg)
+	}
+	if cfg.MaxProcesses < sc.Children+1 {
+		// One facility pid per bridge plus pid 0 for the application.
+		cfg.MaxProcesses = sc.Children + 1
+	}
+	acfg := core.ArenaConfig(cfg)
+
+	tableOff := int64(64)
+	arenaOff := shm.AlignUp(tableOff + core.SegTableBytes(sc.Children, sc.RingCap))
+	segSize := arenaOff + shm.AlignUp(acfg.Bytes())
+	seg, err := shm.NewSharedSegment("mpf-arena", segSize)
+	if err != nil {
+		return nil, err
+	}
+	gen := uint64(time.Now().UnixNano())<<8 ^ uint64(os.Getpid())
+	table, err := core.InitSegTable(seg, tableOff, sc.Children, sc.RingCap, gen)
+	if err != nil {
+		seg.Close()
+		return nil, err
+	}
+	cfg.ArenaMem = seg.At(arenaOff, acfg.Bytes())
+	c, err := core.Init(cfg)
+	if err != nil {
+		seg.Close()
+		return nil, err
+	}
+	return &ProcServer{
+		fac:      &Facility{c: c},
+		seg:      seg,
+		table:    table,
+		gen:      gen,
+		tableOff: tableOff,
+		arenaOff: arenaOff,
+		acfg:     acfg,
+		bridges:  make([]bridgeState, sc.Children),
+	}, nil
+}
+
+// Facility returns the served facility (fully usable in-process too).
+func (s *ProcServer) Facility() *Facility { return s.fac }
+
+// Segment exposes the backing segment (tests, layout assertions).
+func (s *ProcServer) Segment() *shm.Segment { return s.seg }
+
+// Table exposes the in-segment descriptor table.
+func (s *ProcServer) Table() *core.SegTable { return s.table }
+
+// Handshake builds the attach frame for the given slot; SendSegment
+// stamps the segment size.
+func (s *ProcServer) Handshake(slot int) shm.Handshake {
+	var flags uint32
+	if s.acfg.Spans {
+		flags |= shm.HandshakeSpans
+	}
+	return shm.Handshake{
+		Generation: s.gen,
+		TableOff:   s.tableOff,
+		ArenaOff:   s.arenaOff,
+		BlockSize:  int32(s.acfg.BlockSize),
+		NumBlocks:  int32(s.acfg.NumBlocks),
+		Slot:       int32(slot),
+		Flags:      flags,
+	}
+}
+
+// SendSegmentTo runs the server half of the attach handshake for slot
+// over an arbitrary unix socket — the hook the in-process tests use;
+// Spawn does this over each child's inherited socket.
+func (s *ProcServer) SendSegmentTo(conn *net.UnixConn, slot int) error {
+	return shm.SendSegment(conn, s.seg, s.Handshake(slot))
+}
+
+// Spawn execs n children of bin (one table slot each) and performs the
+// fd-passing handshake with every one. n must not exceed the table's
+// slot count.
+func (s *ProcServer) Spawn(n int, bin string, args []string, extraEnv []string) (*proc.ExecGroup, error) {
+	if n > s.table.NSlots() {
+		return nil, fmt.Errorf("mpf: spawning %d children for %d slots", n, s.table.NSlots())
+	}
+	g, err := proc.StartGroup(n, bin, args, extraEnv)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := s.SendSegmentTo(g.Child(i).Conn, i); err != nil {
+			g.Kill()
+			return nil, fmt.Errorf("mpf: handshake with child %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+// bridge lazily opens slot i's facility connections and ring handles.
+// Bridge pid i+1 holds both ends of circuit "xproc-i": the loop-back
+// shape means every payload crosses the circuit queue exactly once in
+// each phase.
+func (s *ProcServer) bridge(slot int) (*bridgeState, error) {
+	b := &s.bridges[slot]
+	if b.send != nil {
+		return b, nil
+	}
+	p, err := s.fac.Process(slot + 1)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("xproc-%d", slot)
+	if b.send, err = p.OpenSend(name); err != nil {
+		return nil, err
+	}
+	if b.recv, err = p.OpenReceive(name, FCFS); err != nil {
+		return nil, err
+	}
+	if b.down, err = s.table.DownRing(slot); err != nil {
+		return nil, err
+	}
+	if b.up, err = s.table.UpRing(slot); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// xsum is the protocol's payload checksum: cheap, order-sensitive, and
+// computed independently on both sides of the process boundary.
+func xsum(b []byte) uint16 {
+	var s uint32
+	for _, c := range b {
+		s = s*31 + uint32(c)
+	}
+	return uint16(s ^ s>>16)
+}
+
+// fillPattern writes the deterministic payload for (slot, seq): what
+// the bridge writes down is what the child re-derives, and vice versa.
+func fillPattern(b []byte, slot, seq int) {
+	x := uint32(slot)*2654435761 + uint32(seq)*40503 + 1
+	for i := range b {
+		x = x*1664525 + 1013904223
+		b[i] = byte(x >> 24)
+	}
+}
+
+// contiguousLoan takes a loan whose payload is one contiguous span —
+// the demo and benchmark protocol ships single-window records. Span
+// mode with uniform message sizes cannot fragment below span
+// granularity, so this does not fail in steady state.
+func contiguousLoan(sc *SendConn, n int) (*Loan, []byte, error) {
+	ln, err := sc.Loan(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf, ok := ln.Bytes()
+	if !ok {
+		ln.Abort()
+		return nil, nil, errors.New("mpf: loan payload fragmented; use span mode with uniform sizes")
+	}
+	return ln, buf, nil
+}
+
+// BridgeDown runs the down phase for one slot: msgs messages of size
+// bytes each, committed through the circuit, exported to the child as
+// VIEW records, acknowledged, released. Returns the number of payload
+// round trips completed.
+func (s *ProcServer) BridgeDown(slot, msgs, size int) (int, error) {
+	b, err := s.bridge(slot)
+	if err != nil {
+		return 0, err
+	}
+	done := 0
+	for seq := 0; seq < msgs; seq++ {
+		ln, buf, err := contiguousLoan(b.send, size)
+		if err != nil {
+			return done, err
+		}
+		fillPattern(buf, slot, seq)
+		sum := xsum(buf)
+		if err := ln.Commit(); err != nil {
+			return done, err
+		}
+		v, err := b.recv.ReceiveViewDeadline(xprocDeadline)
+		if err != nil {
+			return done, err
+		}
+		pay, ok := v.Bytes()
+		if !ok {
+			v.Release()
+			return done, errors.New("mpf: view fragmented in span mode")
+		}
+		off, ok := s.seg.OffsetOf(pay)
+		if !ok {
+			v.Release()
+			return done, errors.New("mpf: view payload does not alias the shared segment")
+		}
+		rec := shm.Record{Off: off, Len: int32(len(pay)), Tag: XTagView, Word: sum}
+		if err := b.down.Push(rec, time.Now().Add(xprocDeadline)); err != nil {
+			v.Release()
+			return done, err
+		}
+		ack, err := b.up.Pop(time.Now().Add(xprocDeadline))
+		v.Release()
+		if err != nil {
+			return done, err
+		}
+		if ack.Tag != XTagAck || ack.Word != sum {
+			return done, fmt.Errorf("mpf: slot %d seq %d: child acked tag %d sum %#x, want tag %d sum %#x",
+				slot, seq, ack.Tag, ack.Word, XTagAck, sum)
+		}
+		done++
+	}
+	return done, nil
+}
+
+// BridgeUp runs the up phase for one slot: msgs loans offered to the
+// child, filled in place across the process boundary, committed, and
+// verified through the receive view. Returns the round trips
+// completed.
+func (s *ProcServer) BridgeUp(slot, msgs, size int) (int, error) {
+	b, err := s.bridge(slot)
+	if err != nil {
+		return 0, err
+	}
+	done := 0
+	for seq := 0; seq < msgs; seq++ {
+		ln, buf, err := contiguousLoan(b.send, size)
+		if err != nil {
+			return done, err
+		}
+		off, ok := s.seg.OffsetOf(buf)
+		if !ok {
+			ln.Abort()
+			return done, errors.New("mpf: loan payload does not alias the shared segment")
+		}
+		rec := shm.Record{Off: off, Len: int32(len(buf)), Tag: XTagLoan, Word: uint16(seq)}
+		if err := b.down.Push(rec, time.Now().Add(xprocDeadline)); err != nil {
+			ln.Abort()
+			return done, err
+		}
+		filled, err := b.up.Pop(time.Now().Add(xprocDeadline))
+		if err != nil {
+			ln.Abort()
+			return done, err
+		}
+		if filled.Tag != XTagFilled {
+			ln.Abort()
+			return done, fmt.Errorf("mpf: slot %d seq %d: child sent tag %d, want FILLED", slot, seq, filled.Tag)
+		}
+		if err := ln.Commit(); err != nil {
+			return done, err
+		}
+		v, err := b.recv.ReceiveViewDeadline(xprocDeadline)
+		if err != nil {
+			return done, err
+		}
+		pay, _ := v.Bytes()
+		sum := xsum(pay)
+		v.Release()
+		if sum != filled.Word {
+			return done, fmt.Errorf("mpf: slot %d seq %d: child-filled payload sums %#x, child said %#x",
+				slot, seq, sum, filled.Word)
+		}
+		done++
+	}
+	return done, nil
+}
+
+// RingWaitStats sums the waiter counters of every bridge's ring
+// handles: spin polls, kernel futex sleeps, and wake syscalls issued
+// on the serving side. The cross-process benchmark records these per
+// message — a waiter protocol regressing to busy-spin shows up here.
+func (s *ProcServer) RingWaitStats() shm.WaitStats {
+	var total shm.WaitStats
+	add := func(w shm.WaitStats) {
+		total.Polls += w.Polls
+		total.Sleeps += w.Sleeps
+		total.Wakes += w.Wakes
+	}
+	for i := range s.bridges {
+		b := &s.bridges[i]
+		if b.down != nil {
+			data, space := b.down.WaitStats()
+			add(data)
+			add(space)
+		}
+		if b.up != nil {
+			data, space := b.up.WaitStats()
+			add(data)
+			add(space)
+		}
+	}
+	return total
+}
+
+// FinishSlot tells the child on slot to detach and exit.
+func (s *ProcServer) FinishSlot(slot int) error {
+	b, err := s.bridge(slot)
+	if err != nil {
+		return err
+	}
+	return b.down.Push(shm.Record{Tag: XTagDone}, time.Now().Add(xprocDeadline))
+}
+
+// Close shuts the facility down and unmaps the segment. The returned
+// error is the unmap's — the "clean unmap" the cross-process demo
+// asserts.
+func (s *ProcServer) Close() error {
+	s.fac.Shutdown()
+	return s.seg.Close()
+}
+
+// ProcClient is a child process's attachment: the mapped segment, the
+// claimed table slot, and its two rings. It deliberately has no
+// facility — children are raw segment peers; the serving process owns
+// every descriptor and the allocator (DESIGN.md §15).
+type ProcClient struct {
+	seg    *shm.Segment
+	table  *core.SegTable
+	h      shm.Handshake
+	slot   int
+	down   *shm.XRing
+	up     *shm.XRing
+	served int
+}
+
+// AttachProc attaches via the socket inherited from proc.StartGroup
+// (fd 3) — the one-call child side of ServeProc+Spawn.
+func AttachProc() (*ProcClient, error) {
+	conn, _, err := proc.ParentConn()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	return AttachProcConn(conn)
+}
+
+// AttachProcConn attaches over an explicit unix socket: receive the
+// segment fd and handshake, map the segment, verify the table
+// generation, claim the assigned slot, open the rings.
+func AttachProcConn(conn *net.UnixConn) (*ProcClient, error) {
+	seg, h, err := shm.RecvSegment(conn)
+	if err != nil {
+		return nil, err
+	}
+	table, err := core.AttachSegTable(seg, h.TableOff, h.Generation)
+	if err != nil {
+		seg.Close()
+		return nil, err
+	}
+	if err := table.Claim(int(h.Slot), uint32(os.Getpid())); err != nil {
+		seg.Close()
+		return nil, err
+	}
+	c := &ProcClient{seg: seg, table: table, h: h, slot: int(h.Slot)}
+	if c.down, err = table.DownRing(c.slot); err == nil {
+		c.up, err = table.UpRing(c.slot)
+	}
+	if err != nil {
+		table.Detach(c.slot)
+		seg.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Slot returns the claimed table slot.
+func (c *ProcClient) Slot() int { return c.slot }
+
+// Handshake returns the attach frame the parent sent.
+func (c *ProcClient) Handshake() shm.Handshake { return c.h }
+
+// Served returns the number of payload records processed by Serve.
+func (c *ProcClient) Served() int { return c.served }
+
+// payload resolves a ring record against this process's mapping,
+// bounds-checking it against the arena region the handshake described
+// — a corrupt descriptor fails here, not as a segment panic.
+func (c *ProcClient) payload(rec shm.Record) ([]byte, error) {
+	arenaEnd := c.h.ArenaOff + int64(c.h.BlockSize)*int64(c.h.NumBlocks+1)
+	if rec.Len < 0 || rec.Off < c.h.ArenaOff || rec.Off+int64(rec.Len) > arenaEnd {
+		return nil, fmt.Errorf("mpf: record window [%d,%d) outside arena [%d,%d)",
+			rec.Off, rec.Off+int64(rec.Len), c.h.ArenaOff, arenaEnd)
+	}
+	return c.seg.At(rec.Off, int64(rec.Len)), nil
+}
+
+// Serve runs the worker loop: VIEW records are verified in place and
+// acknowledged, LOAN records filled in place, until a DONE record
+// arrives. It returns after detaching the slot; the caller still owns
+// Close.
+func (c *ProcClient) Serve() error {
+	defer c.table.Detach(c.slot)
+	for {
+		rec, err := c.down.Pop(time.Now().Add(xprocDeadline))
+		if err != nil {
+			return fmt.Errorf("mpf: slot %d worker: %w", c.slot, err)
+		}
+		switch rec.Tag {
+		case XTagDone:
+			return nil
+		case XTagView:
+			pay, err := c.payload(rec)
+			if err != nil {
+				return err
+			}
+			if sum := xsum(pay); sum != rec.Word {
+				return fmt.Errorf("mpf: slot %d: payload at %d sums %#x, parent said %#x",
+					c.slot, rec.Off, sum, rec.Word)
+			}
+			if err := c.up.Push(shm.Record{Tag: XTagAck, Word: rec.Word}, time.Now().Add(xprocDeadline)); err != nil {
+				return err
+			}
+			c.served++
+		case XTagLoan:
+			pay, err := c.payload(rec)
+			if err != nil {
+				return err
+			}
+			fillPattern(pay, c.slot, int(rec.Word)|1<<20) // distinct from down-phase patterns
+			if err := c.up.Push(shm.Record{Tag: XTagFilled, Word: xsum(pay)}, time.Now().Add(xprocDeadline)); err != nil {
+				return err
+			}
+			c.served++
+		default:
+			return fmt.Errorf("mpf: slot %d: unknown record tag %d", c.slot, rec.Tag)
+		}
+	}
+}
+
+// Close unmaps the child's view of the segment.
+func (c *ProcClient) Close() error { return c.seg.Close() }

@@ -1,0 +1,142 @@
+//go:build linux && (amd64 || arm64)
+
+package mpf
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shm"
+)
+
+func xprocPair(t *testing.T) (*net.UnixConn, *net.UnixConn) {
+	t.Helper()
+	fds, err := syscall.Socketpair(syscall.AF_UNIX, syscall.SOCK_STREAM|syscall.SOCK_CLOEXEC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(fd int) *net.UnixConn {
+		f := os.NewFile(uintptr(fd), "xproc-test")
+		defer f.Close()
+		c, err := net.FileConn(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.(*net.UnixConn)
+	}
+	a, b := mk(fds[0]), mk(fds[1])
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// TestProcServeAttachRoundTrip runs the full cross-process protocol —
+// fd passing, independent mapping, slot claim, both bridge phases —
+// inside one test process. The attached client maps the memfd a second
+// time at a different base address, so offset resolution is exercised
+// exactly as it is between real processes.
+func TestProcServeAttachRoundTrip(t *testing.T) {
+	srv, err := ServeProc(ServeConfig{
+		Children: 2,
+		RingCap:  8,
+		Options:  []Option{WithBlockSize(128), WithBlocksPerProcess(256)},
+	})
+	if errors.Is(err, ErrNoSharedBackend) {
+		t.Skip("no shared backend")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const msgs, size = 200, 300
+	var wg sync.WaitGroup
+	clients := make([]*ProcClient, 2)
+	for slot := 0; slot < 2; slot++ {
+		parent, child := xprocPair(t)
+		if err := srv.SendSegmentTo(parent, slot); err != nil {
+			t.Fatal(err)
+		}
+		cl, err := AttachProcConn(child)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[slot] = cl
+		if cl.Slot() != slot {
+			t.Fatalf("client claimed slot %d, want %d", cl.Slot(), slot)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cl.Serve(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+
+	for slot := 0; slot < 2; slot++ {
+		if n, err := srv.BridgeDown(slot, msgs, size); err != nil || n != msgs {
+			t.Fatalf("slot %d down: %d round trips, %v", slot, n, err)
+		}
+		if n, err := srv.BridgeUp(slot, msgs, size); err != nil || n != msgs {
+			t.Fatalf("slot %d up: %d round trips, %v", slot, n, err)
+		}
+		if err := srv.FinishSlot(slot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+
+	for slot, cl := range clients {
+		if cl.Served() != 2*msgs {
+			t.Fatalf("slot %d served %d records, want %d", slot, cl.Served(), 2*msgs)
+		}
+		if s := srv.Table().SlotState(slot); s != core.SlotDetached {
+			t.Fatalf("slot %d state %d after Serve, want detached", slot, s)
+		}
+		if err := cl.Close(); err != nil {
+			t.Fatalf("client %d close: %v", slot, err)
+		}
+	}
+
+	// The whole exchange crossed the process boundary by reference:
+	// the ledger must show every message on the zero-copy planes and
+	// not one payload byte copied.
+	st := srv.Facility().Stats()
+	if st.PayloadCopiesIn != 0 || st.PayloadCopiesOut != 0 {
+		t.Fatalf("payload copies: in=%d out=%d, want 0/0", st.PayloadCopiesIn, st.PayloadCopiesOut)
+	}
+	if want := uint64(2 * 2 * msgs); st.LoanSends != want || st.ViewReceives != want {
+		t.Fatalf("ledger: loans=%d views=%d, want %d each", st.LoanSends, st.ViewReceives, want)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close (unmap): %v", err)
+	}
+}
+
+// TestProcAttachStaleGeneration forges a handshake with a wrong
+// generation and checks the attach is refused at the table, not
+// misread.
+func TestProcAttachStaleGeneration(t *testing.T) {
+	srv, err := ServeProc(ServeConfig{Children: 1})
+	if errors.Is(err, ErrNoSharedBackend) {
+		t.Skip("no shared backend")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	parent, child := xprocPair(t)
+	h := srv.Handshake(0)
+	h.Generation++ // a handshake from a previous serve instance
+	if err := shm.SendSegment(parent, srv.Segment(), h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachProcConn(child); !errors.Is(err, core.ErrGenerationMismatch) {
+		t.Fatalf("stale attach: %v, want ErrGenerationMismatch", err)
+	}
+}
