@@ -30,10 +30,17 @@
 // grants each circuit a receiver-side budget of n accounted blocks,
 // debited by the send paths at allocation and re-granted as receivers
 // release the blocks, so a hot tenant parks on its own budget instead
-// of starving the facility. mpfbench -contention, -select, -copies,
-// -loanbatch and -credit quantify these against the paper's
-// single-lock, single-pulse, two-copy, per-message, globally-starved
-// layout, and mpfbench -json records the headline numbers as a
+// of starving the facility — and tunes the hot path to its load and
+// machine (DESIGN.md §16): WaitViews budget <= 0 selects an
+// EWMA-adapted harvest budget under a fairness cap, WithAffinity pins
+// Run goroutines to cores through internal/affinity (raw
+// sched_setaffinity on Linux, best-effort everywhere), WithHugePages
+// advises MADV_HUGEPAGE over the arena's 2 MiB-aligned interior, and
+// the hot atomics are padded to cache lines with layout regression
+// tests holding the offsets. mpfbench -contention, -select, -copies,
+// -loanbatch, -credit and -tuning quantify these against the paper's
+// single-lock, single-pulse, two-copy, per-message, globally-starved,
+// fixed-budget layout, and mpfbench -json records the headline numbers as a
 // machine-readable BENCH.json, which mpfbench -compare diffs across
 // runs. CI (.github/workflows/ci.yml) gates build, vet, staticcheck,
 // gofmt, the unit suite on two Go versions, a race-detector subset, a

@@ -1,0 +1,67 @@
+// Package affinity pins goroutines and processes to CPU cores.
+//
+// The facility's hot paths are pairs of threads spinning on shared
+// cache lines — a producer bumping a ring tail and a consumer polling
+// it, a poster and a sleeper on a futex word. When the scheduler
+// migrates one of the pair, every hot line it owned must be re-fetched
+// from the old core's cache, and the optimistic spin windows (ring
+// waits, selector parking, notify spins) are retuned against a cold
+// cache. Pinning each side of a pair to a fixed core removes the
+// migrations; pinning the sides to *distinct* cores keeps the
+// line-bouncing window honest (same-core pairs serialise through the
+// scheduler instead).
+//
+// The package is deliberately tiny and advisory: on linux amd64/arm64
+// it speaks sched_setaffinity/sched_getaffinity via raw syscalls (in
+// the style of shm's memfd_create plumbing); everywhere else every
+// call is a successful no-op so callers need no build tags. Real
+// pinning can still fail at runtime — containerised CI commonly
+// restricts the cpuset — and callers must treat an error as "run
+// unpinned", never as fatal.
+package affinity
+
+import "runtime"
+
+// Supported reports whether this platform can actually pin (linux
+// amd64/arm64). Benches use it to label pinned-vs-floating legs as
+// skipped rather than measured-identical.
+func Supported() bool { return supported }
+
+// PinThread locks the calling goroutine to its OS thread and restricts
+// that thread to the single CPU cpu (taken modulo the machine's CPU
+// count, so callers can pass a plain worker index). It returns a
+// restore function that reinstates the thread's previous CPU mask and
+// unlocks the goroutine.
+//
+// On unsupported platforms PinThread succeeds as a no-op. On supported
+// ones it can still fail (a container's cpuset may exclude the chosen
+// CPU, or forbid the call outright); the goroutine is left unlocked
+// and unpinned, and the caller should proceed unpinned.
+func PinThread(cpu int) (restore func(), err error) {
+	if n := runtime.NumCPU(); n > 0 {
+		cpu %= n
+		if cpu < 0 {
+			cpu += n
+		}
+	}
+	return pinThread(cpu)
+}
+
+// PinPID restricts the OS process pid (typically a freshly spawned
+// child) to the single CPU cpu, modulo the machine's CPU count. Like
+// PinThread it is advisory: a no-op off linux, and an error — not a
+// panic — when the runner's cpuset forbids it.
+func PinPID(pid, cpu int) error {
+	if n := runtime.NumCPU(); n > 0 {
+		cpu %= n
+		if cpu < 0 {
+			cpu += n
+		}
+	}
+	return pinPID(pid, cpu)
+}
+
+// AllowedCPUs returns the number of CPUs in the calling thread's
+// current affinity mask, or 0 when the platform cannot tell. It exists
+// so tests and the bench can verify a pin actually narrowed the mask.
+func AllowedCPUs() int { return allowedCPUs() }

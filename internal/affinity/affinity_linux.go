@@ -1,0 +1,82 @@
+//go:build linux && (amd64 || arm64)
+
+package affinity
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+const supported = true
+
+// cpuMask is a kernel cpu_set_t large enough for 1024 CPUs — the
+// kernel copies exactly the byte length we pass, so a fixed size is
+// fine as long as it covers the machine.
+type cpuMask [16]uint64
+
+func getaffinity(pid int, m *cpuMask) error {
+	// sched_getaffinity returns the mask size on success; only errno
+	// matters here.
+	_, _, errno := syscall.Syscall(sysSchedGetaffinity,
+		uintptr(pid), unsafe.Sizeof(*m), uintptr(unsafe.Pointer(m)))
+	if errno != 0 {
+		return fmt.Errorf("affinity: sched_getaffinity(%d): %w", pid, errno)
+	}
+	return nil
+}
+
+func setaffinity(pid int, m *cpuMask) error {
+	_, _, errno := syscall.Syscall(sysSchedSetaffinity,
+		uintptr(pid), unsafe.Sizeof(*m), uintptr(unsafe.Pointer(m)))
+	if errno != 0 {
+		return fmt.Errorf("affinity: sched_setaffinity(%d): %w", pid, errno)
+	}
+	return nil
+}
+
+func maskFor(cpu int) *cpuMask {
+	var m cpuMask
+	m[(cpu/64)%len(m)] |= 1 << (cpu % 64)
+	return &m
+}
+
+func pinThread(cpu int) (func(), error) {
+	// The pin is a property of the OS thread, so the goroutine must
+	// stay wedded to it for the pin's lifetime.
+	runtime.LockOSThread()
+	var old cpuMask
+	if err := getaffinity(0, &old); err != nil {
+		runtime.UnlockOSThread()
+		return nil, err
+	}
+	if err := setaffinity(0, maskFor(cpu)); err != nil {
+		// EINVAL when the cpuset excludes the chosen CPU, EPERM when
+		// the call is forbidden outright; either way the caller runs
+		// unpinned.
+		runtime.UnlockOSThread()
+		return nil, err
+	}
+	return func() {
+		setaffinity(0, &old)
+		runtime.UnlockOSThread()
+	}, nil
+}
+
+func pinPID(pid, cpu int) error {
+	return setaffinity(pid, maskFor(cpu))
+}
+
+func allowedCPUs() int {
+	var m cpuMask
+	if err := getaffinity(0, &m); err != nil {
+		return 0
+	}
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,14 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package affinity
+
+const supported = false
+
+// The stubs succeed as no-ops so callers stay free of build tags; only
+// Supported/AllowedCPUs reveal that nothing was pinned.
+
+func pinThread(cpu int) (func(), error) { return func() {}, nil }
+
+func pinPID(pid, cpu int) error { return nil }
+
+func allowedCPUs() int { return 0 }

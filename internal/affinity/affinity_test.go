@@ -1,0 +1,51 @@
+package affinity
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestPinThread pins the calling goroutine to CPU 0, verifies the mask
+// narrowed to one CPU, and verifies restore widens it again. Runners
+// whose cpuset forbids pinning skip rather than fail — the same
+// graceful degradation the bench's pinned leg promises.
+func TestPinThread(t *testing.T) {
+	if !Supported() {
+		restore, err := PinThread(0)
+		if err != nil {
+			t.Fatalf("stub PinThread must be a successful no-op, got %v", err)
+		}
+		restore()
+		return
+	}
+	before := AllowedCPUs()
+	if before == 0 {
+		t.Skip("cannot read this thread's affinity mask")
+	}
+	restore, err := PinThread(0)
+	if err != nil {
+		t.Skipf("pinning restricted on this runner: %v", err)
+	}
+	if got := AllowedCPUs(); got != 1 {
+		restore()
+		t.Fatalf("pinned mask has %d CPUs, want 1", got)
+	}
+	restore()
+	if got := AllowedCPUs(); got != before {
+		t.Fatalf("restored mask has %d CPUs, want %d", got, before)
+	}
+}
+
+// TestPinThreadModulo checks worker indexes beyond the CPU count wrap
+// instead of erroring: pinning is meant to accept plain pid/slot
+// numbers.
+func TestPinThreadModulo(t *testing.T) {
+	restore, err := PinThread(runtime.NumCPU() + 1)
+	if err != nil {
+		if !Supported() {
+			t.Fatalf("stub PinThread must be a successful no-op, got %v", err)
+		}
+		t.Skipf("pinning restricted on this runner: %v", err)
+	}
+	restore()
+}

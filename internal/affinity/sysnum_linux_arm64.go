@@ -1,0 +1,11 @@
+//go:build linux && arm64
+
+package affinity
+
+// Raw syscall numbers, kept per-arch in the style of shm's memfd
+// plumbing: the std syscall tables are frozen, and the sched_*affinity
+// wrappers there want the x/sys types this module deliberately avoids.
+const (
+	sysSchedSetaffinity = 122
+	sysSchedGetaffinity = 123
+)

@@ -21,7 +21,7 @@ import (
 // differences within a schema (a baseline that measured fewer copies
 // points, say) degrade gracefully: metrics only one side has are
 // simply unheld. The CI artifact name carries the schema
-// (bench-json-v4), so the gate never even downloads a stale-schema
+// (bench-json-v5), so the gate never even downloads a stale-schema
 // baseline; a schema bump's first run falls back to the committed
 // seed.
 
@@ -97,6 +97,31 @@ func (s *JSONSummary) metrics() []metric {
 			metric{"xproc.spin_polls_per_msg_plus1", s.XProc.SpinPollsPerMsgPlus1, lowerIsBetter, true},
 			metric{"xproc.futex_sleeps_per_msg_plus1", s.XProc.FutexSleepsPerMsgPlus1, lowerIsBetter, true},
 			metric{"xproc.futex_wakes_per_msg_plus1", s.XProc.FutexWakesPerMsgPlus1, lowerIsBetter, true},
+		)
+	}
+	// The tuning section holds the adaptive-harvest drain throughput
+	// and the round amortisation — the latter is a ratio of two
+	// deterministic round counts (the drain has no timing races), so it
+	// survives even the ratios-only seed fallback. The throughput
+	// *advantage* (auto/fixed), the starvation counts, the cap/gauge
+	// numbers and the huge-page leg are trajectory-only, credit-style:
+	// the advantage's denominator is the deliberately-degenerate greedy
+	// sweep whose absolute speed swings with scheduling, starvation is
+	// a small integer that legitimately flickers, and the huge-page
+	// delta is sub-noise by design. TestTuningAdvantage enforces those
+	// properties instead. The false-sharing and affinity ratios are
+	// box-topology facts (core count, SMT layout), so like the xproc
+	// waiter counters they gate same-pool chains only; the pinned
+	// metric contributes only where pinning actually worked, mirroring
+	// the xproc Supported gate.
+	ms = append(ms,
+		metric{"tuning.auto_msgs_per_sec", s.Tuning.AutoMsgsPerSec, higherIsBetter, true},
+		metric{"tuning.round_amortisation", s.Tuning.RoundAmortisation, higherIsBetter, false},
+		metric{"tuning.padded_vs_packed_advantage", s.Tuning.PaddedVsPackedAdvantage, higherIsBetter, true},
+	)
+	if s.Tuning.AffinitySupported {
+		ms = append(ms,
+			metric{"tuning.pinned_vs_floating_advantage", s.Tuning.PinnedVsFloatingAdvantage, higherIsBetter, true},
 		)
 	}
 	return ms

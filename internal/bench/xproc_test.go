@@ -76,8 +76,8 @@ func TestSummaryXProcSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Schema != 4 {
-		t.Fatalf("schema %d, want 4", s.Schema)
+	if s.Schema != 5 {
+		t.Fatalf("schema %d, want 5", s.Schema)
 	}
 	probe, err := mpf.ServeProc(mpf.ServeConfig{Children: 1})
 	if errors.Is(err, mpf.ErrNoSharedBackend) {

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func newAutoFac(t *testing.T, minB, maxB int) *Facility {
+	t.Helper()
+	f, err := Init(Config{
+		MaxLNVCs: 16, MaxProcesses: 20,
+		AutoHarvestMin: minB, AutoHarvestMax: maxB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Shutdown)
+	return f
+}
+
+// TestHarvestInvalidBudget covers the invalid-budget path: with
+// auto-harvest unconfigured a non-positive budget must error — with a
+// core-prefixed message, since the error originates below the facade —
+// for both the blocking and deadline forms.
+func TestHarvestInvalidBudget(t *testing.T) {
+	f := newFac(t)
+	_, _ = f.OpenSend(0, "inv")
+	_, _ = f.OpenReceive(1, "inv", FCFS)
+	s, _ := f.NewSelector(1)
+	defer s.Close()
+	if err := s.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{0, -3} {
+		if _, err := s.HarvestViews(budget); err == nil {
+			t.Fatalf("HarvestViews(%d) succeeded with auto-harvest off", budget)
+		} else if !strings.HasPrefix(err.Error(), "core:") {
+			t.Fatalf("HarvestViews(%d) error %q, want core: prefix", budget, err)
+		}
+		if _, err := s.HarvestViewsDeadline(budget, time.Second); err == nil {
+			t.Fatalf("HarvestViewsDeadline(%d) succeeded with auto-harvest off", budget)
+		} else if !strings.HasPrefix(err.Error(), "core:") {
+			t.Fatalf("HarvestViewsDeadline(%d) error %q, want core: prefix", budget, err)
+		}
+	}
+}
+
+// TestAutoHarvestBudgetAdapts drives an auto-mode selector through a
+// burst and checks the adaptive machinery: the budget gauge moves off
+// its floor while the burst is deep, every message is delivered, and
+// the budget decays back toward the floor once traffic quiets.
+func TestAutoHarvestBudgetAdapts(t *testing.T) {
+	f := newAutoFac(t, 1, 16)
+	send, _ := f.OpenSend(0, "auto")
+	recv, _ := f.OpenReceive(1, "auto", FCFS)
+	_ = recv
+	s, _ := f.NewSelector(1)
+	defer s.Close()
+	if err := s.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	const burst = 48
+	for i := 0; i < burst; i++ {
+		if err := f.Send(0, send, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	maxBudget := uint64(0)
+	for got < burst {
+		vs, err := s.HarvestViewsDeadline(0, 2*time.Second)
+		if err != nil {
+			t.Fatalf("after %d messages: %v", got, err)
+		}
+		for _, v := range vs {
+			var b [1]byte
+			v.CopyTo(b[:])
+			if int(b[0]) != got {
+				t.Fatalf("message %d out of order: got stamp %d", got, b[0])
+			}
+			got++
+			v.Release()
+		}
+		if g := f.Stats().HarvestAutoBudget; g > maxBudget {
+			maxBudget = g
+		}
+	}
+	if maxBudget <= 1 {
+		t.Fatalf("auto budget never grew beyond %d during a %d-deep burst", maxBudget, burst)
+	}
+	// Quiet rounds decay the EWMA: single-message rounds must pull the
+	// budget back down toward the floor.
+	for i := 0; i < 24; i++ {
+		if err := f.Send(0, send, []byte{0}); err != nil {
+			t.Fatal(err)
+		}
+		vs, err := s.HarvestViewsDeadline(0, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vs {
+			v.Release()
+		}
+	}
+	if g := f.Stats().HarvestAutoBudget; g > 4 {
+		t.Fatalf("auto budget stuck at %d after 24 single-message rounds", g)
+	}
+}
+
+// TestAutoHarvestFairnessCap starves one circuit behind a hot sibling
+// and checks the cap: with the hot circuit holding far more traffic
+// than one round's budget, the cold circuit must still be served
+// within a bounded number of rounds, and the truncations must be
+// counted.
+func TestAutoHarvestFairnessCap(t *testing.T) {
+	f := newAutoFac(t, 1, 8)
+	hotS, _ := f.OpenSend(0, "hot")
+	coldS, _ := f.OpenSend(0, "cold")
+	hotR, _ := f.OpenReceive(1, "hot", FCFS)
+	coldR, _ := f.OpenReceive(1, "cold", FCFS)
+	s, _ := f.NewSelector(1)
+	defer s.Close()
+	if err := s.Add(hotR); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(coldR); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := f.Send(0, hotS, []byte("h")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Send(0, coldS, []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	coldRound := -1
+	for round := 0; round < 10 && coldRound < 0; round++ {
+		vs, err := s.HarvestViewsDeadline(0, 2*time.Second)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, v := range vs {
+			if v.Circuit() == coldR {
+				coldRound = round
+			}
+			v.Release()
+		}
+	}
+	if coldRound < 0 {
+		t.Fatal("cold circuit never served: the hot circuit consumed every round")
+	}
+	// The fairness bound: with both circuits armed from the start, the
+	// cap must serve the cold one within the first rounds, not after
+	// the hot queue drains.
+	if coldRound > 2 {
+		t.Fatalf("cold circuit first served in round %d, want <= 2", coldRound)
+	}
+	if f.Stats().HarvestCapHits == 0 {
+		t.Fatal("cap never counted a truncation while a 64-deep circuit shared rounds")
+	}
+}

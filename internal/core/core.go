@@ -189,6 +189,28 @@ type Config struct {
 	// herd); leave it off in real use. Selectors always use the
 	// per-circuit waiter lists regardless of this knob.
 	GlobalPulseMux bool
+	// AutoHarvestMin and AutoHarvestMax, when positive, enable the
+	// selector's adaptive harvest mode and bound its budget window: a
+	// HarvestViews/WaitViews call with budget <= 0 sizes the round from
+	// an EWMA of observed ready-set depth, clamped to [Min, Max], with
+	// a per-circuit fairness cap so one hot circuit cannot consume the
+	// whole round while ready siblings starve. Zero (the default)
+	// leaves auto mode off, and a non-positive budget is an error —
+	// exactly the pre-adaptive behaviour. See selector.go and
+	// DESIGN.md §16.
+	AutoHarvestMin int
+	AutoHarvestMax int
+	// Affinity asks the facility's drivers to pin producer/consumer
+	// goroutine pairs (and spawned cross-process children) to distinct
+	// CPU cores via internal/affinity. Purely advisory: platforms and
+	// runners that restrict sched_setaffinity run unpinned. The flag
+	// lives here so it travels with the facility config; the pinning
+	// itself happens in the mpf facade (Run) and the proc server.
+	Affinity bool
+	// HugePages forwards to shm.Config.HugePages: ask the kernel to
+	// back the block region with transparent huge pages. Advisory;
+	// Arena.HugeStats reports whether the hint took.
+	HugePages bool
 	// Tracer, when non-nil, receives one Event per primitive invocation.
 	Tracer Tracer
 }
@@ -210,6 +232,16 @@ func (c *Config) fillDefaults() {
 		c.RegistryShards = defaultRegistryShards
 	}
 	c.RegistryShards = ceilPow2(c.RegistryShards)
+	// Auto-harvest: setting either bound enables the mode; normalise
+	// the window so Min <= Max and both are at least 1.
+	if c.AutoHarvestMin > 0 || c.AutoHarvestMax > 0 {
+		if c.AutoHarvestMin <= 0 {
+			c.AutoHarvestMin = 1
+		}
+		if c.AutoHarvestMax < c.AutoHarvestMin {
+			c.AutoHarvestMax = c.AutoHarvestMin
+		}
+	}
 }
 
 // Stats aggregates facility-wide operation counts. All fields are
@@ -272,6 +304,14 @@ type Stats struct {
 	// asserts.
 	CreditStalls uint64
 	CreditsHeld  uint64
+	// The adaptive harvest (Config.AutoHarvestMin/Max).
+	// HarvestAutoBudget is a gauge holding the most recent budget the
+	// EWMA sized an auto round to; HarvestCapHits counts circuits
+	// truncated by the per-circuit fairness cap (each hit is a hot
+	// circuit that would have starved a ready sibling under the greedy
+	// fixed-budget sweep).
+	HarvestAutoBudget uint64
+	HarvestCapHits    uint64
 }
 
 type statsCell struct {
@@ -294,7 +334,9 @@ type statsCell struct {
 	loanBatchSends        atomic.Uint64
 	harvestedViews        atomic.Uint64
 	creditStalls          atomic.Uint64
-	creditsHeld           atomic.Int64 // gauge: debits minus grants
+	creditsHeld           atomic.Int64  // gauge: debits minus grants
+	harvestAutoBudget     atomic.Uint64 // gauge: last EWMA-sized budget
+	harvestCapHits        atomic.Uint64
 }
 
 func (s *statsCell) snapshot() Stats {
@@ -304,20 +346,22 @@ func (s *statsCell) snapshot() Stats {
 		BytesSent: s.bytesSent.Load(), BytesRecvd: s.bytesRecvd.Load(),
 		Checks:       s.checks.Load(),
 		LNVCsCreated: s.lnvcsCreated.Load(), LNVCsDeleted: s.lnvcsDeleted.Load(),
-		MessagesDropped:  s.messagesDropped.Load(),
-		ReceiveWaits:     s.receiveWaits.Load(),
-		BatchSends:       s.batchSends.Load(),
-		BatchReceives:    s.batchReceives.Load(),
-		MuxWakeups:       s.muxWakeups.Load(),
-		MuxSpurious:      s.muxSpurious.Load(),
-		PayloadCopiesIn:  s.payloadCopiesIn.Load(),
-		PayloadCopiesOut: s.payloadCopiesOut.Load(),
-		LoanSends:        s.loanSends.Load(),
-		ViewReceives:     s.viewReceives.Load(),
-		LoanBatchSends:   s.loanBatchSends.Load(),
-		HarvestedViews:   s.harvestedViews.Load(),
-		CreditStalls:     s.creditStalls.Load(),
-		CreditsHeld:      clampGauge(s.creditsHeld.Load()),
+		MessagesDropped:   s.messagesDropped.Load(),
+		ReceiveWaits:      s.receiveWaits.Load(),
+		BatchSends:        s.batchSends.Load(),
+		BatchReceives:     s.batchReceives.Load(),
+		MuxWakeups:        s.muxWakeups.Load(),
+		MuxSpurious:       s.muxSpurious.Load(),
+		PayloadCopiesIn:   s.payloadCopiesIn.Load(),
+		PayloadCopiesOut:  s.payloadCopiesOut.Load(),
+		LoanSends:         s.loanSends.Load(),
+		ViewReceives:      s.viewReceives.Load(),
+		LoanBatchSends:    s.loanBatchSends.Load(),
+		HarvestedViews:    s.harvestedViews.Load(),
+		CreditStalls:      s.creditStalls.Load(),
+		CreditsHeld:       clampGauge(s.creditsHeld.Load()),
+		HarvestAutoBudget: s.harvestAutoBudget.Load(),
+		HarvestCapHits:    s.harvestCapHits.Load(),
 	}
 }
 
@@ -377,6 +421,7 @@ func ArenaConfig(cfg Config) shm.Config {
 	cfg.fillDefaults()
 	acfg := shm.SizeFor(cfg.MaxLNVCs, cfg.MaxProcesses, cfg.BlockSize, cfg.BlocksPerProcess)
 	acfg.Spans = !cfg.ClassicChains
+	acfg.HugePages = cfg.HugePages
 	return acfg
 }
 

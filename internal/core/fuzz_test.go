@@ -40,8 +40,12 @@ import (
 // batch of two outright (AbortAll); op 11 harvests up to two pinned
 // views through pid 3's Selector (HarvestViews inside the wait round)
 // and *holds* them like op 6's, so harvested views ride across
-// receiver churn and close too. FailFast keeps pool exhaustion from
-// blocking the fuzzer — a refused send is simply not recorded.
+// receiver churn and close too; op 14 is the same harvest with budget
+// 0 — the adaptive (EWMA-sized, fairness-capped) rounds the facility's
+// AutoHarvest window enables — so the cap is checked against the same
+// no-drop/no-duplicate stream invariants across receiver churn.
+// FailFast keeps pool exhaustion from blocking the fuzzer — a refused
+// send is simply not recorded.
 //
 // The facility runs under credit flow control (CreditBlocks = 12 of
 // the region), so every op above doubles as a credit op: sends debit
@@ -74,6 +78,8 @@ func FuzzProtocolInvariants(f *testing.F) {
 	f.Add([]byte{8, 8, 11, 11, 11, 5, 7, 2, 7, 7, 10, 9, 1, 1, 1, 1, 1, 1, 1, 1})
 	f.Add([]byte{12, 13, 0, 12, 8, 13, 6, 6, 13, 12, 7, 7, 1, 1, 1, 1, 3, 3, 4, 4})
 	f.Add([]byte{0, 0, 0, 0, 8, 8, 13, 12, 9, 13, 6, 5, 13, 1, 1, 1, 7, 13})
+	f.Add([]byte{8, 14, 0, 0, 14, 5, 14, 2, 7, 7, 14, 5, 1, 1, 1, 1, 7, 7})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 14, 14, 14, 11, 14, 7, 7, 7, 7, 7, 1, 1, 1, 1, 1, 1})
 
 	f.Fuzz(func(t *testing.T, script []byte) {
 		if len(script) > 4096 {
@@ -98,6 +104,11 @@ func runProtocolScript(t *testing.T, script []byte, segmentBacked bool) {
 		BlocksPerProcess: 16,
 		SendPolicy:       FailFast,
 		CreditBlocks:     creditBudget,
+		// Auto-harvest enabled so op 14 can run budget-0 rounds: the
+		// adaptive budget and fairness cap ride the same scripts as
+		// everything else.
+		AutoHarvestMin: 1,
+		AutoHarvestMax: 4,
 	}
 	if segmentBacked {
 		acfg := ArenaConfig(cfg)
@@ -324,18 +335,22 @@ func runProtocolScript(t *testing.T, script []byte, segmentBacked bool) {
 		nextSeq += uint64(commit)
 		sent += uint64(commit)
 	}
-	// harvestViews drains up to two messages through pid 3's
-	// Selector into held views. The guard keeps it non-blocking: a
-	// BROADCAST receiver with bcNext < sent always has a
-	// deliverable message, so the wait round returns immediately.
-	harvestViews := func() {
+	// harvestViews drains messages through pid 3's Selector into held
+	// views — budget 2 for op 11's fixed-budget rounds, budget 0 for
+	// op 14's adaptive rounds (the EWMA budget and the fairness cap
+	// decide how many views arrive; the stream checks below are
+	// identical, so the cap can neither drop nor duplicate). The
+	// guard keeps it non-blocking: a BROADCAST receiver with
+	// bcNext < sent always has a deliverable message, so the wait
+	// round returns immediately.
+	harvestViews := func(budget int) {
 		if bcNext[3] >= sent {
 			return
 		}
 		for len(held) > 6 {
 			releaseOldest()
 		}
-		vs, err := sel.HarvestViewsDeadline(2, 10*time.Second)
+		vs, err := sel.HarvestViewsDeadline(budget, 10*time.Second)
 		if err != nil {
 			t.Fatalf("harvest: %v", err)
 		}
@@ -425,14 +440,16 @@ func runProtocolScript(t *testing.T, script []byte, segmentBacked bool) {
 		case 10:
 			batchSend(2, -1) // AbortAll
 		case 11:
-			harvestViews()
+			harvestViews(2)
 		case 12:
 			loanAbort()
 		case 13:
 			checkLedger()
+		case 14:
+			harvestViews(0) // adaptive budget + fairness cap
 		default:
-			// 14-15 reserved; treated as no-ops so future ops can
-			// claim them without invalidating today's corpus.
+			// 15 reserved; treated as a no-op so a future op can
+			// claim it without invalidating today's corpus.
 		}
 	}
 

@@ -37,7 +37,14 @@ type lnvc struct {
 	// here.
 	shard uint32
 
+	// The circuit lock is the hottest word in the facility — every
+	// send, receive, harvest and wake spins on it — so it gets a cache
+	// line to itself (24-byte TAS + 40 pad): a reader walking the cold
+	// descriptor fields below must not invalidate the line senders are
+	// spinning on. Asserted by TestHotWordLayout.
 	lock spinlock.TAS
+	_    [40]byte
+
 	cond *sync.Cond // signalled on enqueue and shutdown
 
 	queue       msg.Queue
@@ -63,7 +70,13 @@ type lnvc struct {
 	// creditWaiters are the senders parked until the budget can cover
 	// them. Both guarded by lock; both meaningful only when
 	// Config.CreditBlocks > 0.
+	// creditUsed sits on its own line: it is debited on every credited
+	// send and re-granted on every release, and without the pad it
+	// would share a line with the waiter slice header that parked
+	// senders and granting receivers both touch. Asserted by
+	// TestHotWordLayout.
 	creditUsed    int32
+	_             [60]byte
 	creditWaiters []*creditWaiter
 
 	// descriptor free lists, per paper §3.1 ("Like message blocks, LNVC,

@@ -47,9 +47,19 @@ const maxRegistryShards = 1 << 10
 
 // registryShard is one slice of the name space.
 type registryShard struct {
-	lock     spinlock.RW
+	// The shard lock owns its cache line: shards sit adjacent in one
+	// slice, and an unpadded 4-byte lock would put up to a dozen of
+	// them — each spun on by a different opener — on the same line,
+	// turning independent shards back into one contended word. The
+	// tail pad keeps the whole shard a multiple of 64 bytes so
+	// neighbouring shards never share a line either (asserted by
+	// TestHotWordLayout).
+	lock spinlock.RW
+	_    [60]byte
+
 	names    map[string]ID
 	lnvcFree []*lnvc // recycled descriptors, owned by this shard forever
+	_        [32]byte
 }
 
 // ceilPow2 rounds n up to a power of two within [1, maxRegistryShards].

@@ -41,6 +41,14 @@ type Selector struct {
 	notify chan struct{}
 	w      *muxWaiter
 
+	// The pad pushes mu and the ready-list head it guards onto their
+	// own cache lines: every markReady — called from *senders*, under
+	// the firing circuit's lock — spins on mu and appends to ready,
+	// and without the pad those words share a line with the fields the
+	// parked owner reads on its wakeup path. Asserted by
+	// TestHotWordLayout.
+	_ [32]byte
+
 	// mu guards the fields below. Lock order: shard lock → LNVC lock →
 	// mu (markReady runs under the firing LNVC's lock), so Selector
 	// methods must never acquire an LNVC lock while holding mu.
@@ -56,6 +64,15 @@ type Selector struct {
 	// registration is already dropped). Owner-goroutine state, like a
 	// wait round itself — never touched by Close.
 	deadErr error
+
+	// Adaptive-harvest state (Config.AutoHarvestMin/Max): an EWMA of
+	// the per-round harvest yield, the budget the last auto round ran
+	// with, and whether that round consumed it entirely (in which case
+	// the observed yield is censored at the budget and the next round
+	// probes upward). Owner-goroutine state, like deadErr.
+	ewmaDepth  float64
+	lastBudget int
+	lastFilled bool
 }
 
 // selReg pins a registration to one incarnation of one descriptor: l
@@ -437,6 +454,17 @@ func (s *Selector) dropReg(id ID, reg selReg) {
 // a batched ReleaseViews, which undoes a harvest's pins with one lock
 // acquisition per circuit).
 //
+// A non-positive max selects the adaptive budget when the facility was
+// configured with AutoHarvestMin/Max (otherwise it is an error): each
+// round is sized from an EWMA of recent harvest yields, clamped to the
+// configured window and probed upward after a round that filled its
+// budget, and the round's budget is split evenly across the circuits
+// that fired (never below one message each) so a hot circuit cannot
+// consume the whole round while ready siblings starve — the cap's
+// truncations are counted in Stats.HarvestCapHits, the budget itself
+// in the Stats.HarvestAutoBudget gauge. A positive max keeps the
+// historical fixed-budget greedy sweep.
+//
 // A circuit left with traffic by the budget stays armed and is
 // harvested by the next call — the same level-trigger Wait gives
 // partially drained circuits. Error behaviour matches Wait:
@@ -462,6 +490,42 @@ func (s *Selector) HarvestViewsDeadline(max int, d time.Duration) ([]*View, erro
 	return vs, err
 }
 
+// harvestEWMAAlpha weights the newest round's yield in the adaptive
+// budget's moving average: 1/4 new, 3/4 history — fast enough to track
+// an MMPP-style on/off burst within a few rounds, smooth enough not to
+// collapse the budget on one quiet round.
+const harvestEWMAAlpha = 0.25
+
+// nextAutoBudget sizes an auto-mode round: the yield EWMA rounded up,
+// doubled as an upward probe when the previous round consumed its
+// whole budget (the observation is censored at the budget, so the true
+// depth may be anything above it), clamped to the configured window.
+// The result is also published to the HarvestAutoBudget gauge.
+func (s *Selector) nextAutoBudget() int {
+	lo, hi := s.f.cfg.AutoHarvestMin, s.f.cfg.AutoHarvestMax
+	b := int(s.ewmaDepth) + 1
+	if s.lastFilled && b < s.lastBudget*2 {
+		b = s.lastBudget * 2
+	}
+	if b < lo {
+		b = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	s.lastBudget = b
+	s.f.stats.harvestAutoBudget.Store(uint64(b))
+	return b
+}
+
+// observeHarvest folds one auto round's yield into the EWMA. Called
+// only for rounds that had fired circuits, so pure spurious wakeups do
+// not decay the depth estimate.
+func (s *Selector) observeHarvest(claimed, budget int) {
+	s.ewmaDepth = (1-harvestEWMAAlpha)*s.ewmaDepth + harvestEWMAAlpha*float64(claimed)
+	s.lastFilled = claimed >= budget
+}
+
 func (s *Selector) traceHarvest(vs []*View, err error) {
 	total := 0
 	for _, v := range vs {
@@ -471,8 +535,9 @@ func (s *Selector) traceHarvest(vs []*View, err error) {
 }
 
 func (s *Selector) harvestViews(max int, deadline *time.Time) ([]*View, error) {
-	if max < 1 {
-		return nil, fmt.Errorf("mpf: HarvestViews with budget %d", max)
+	auto := max < 1
+	if auto && s.f.cfg.AutoHarvestMax < 1 {
+		return nil, fmt.Errorf("core: HarvestViews with budget %d (auto-harvest not configured)", max)
 	}
 	if err := s.takeDeadErr(); err != nil {
 		return nil, err
@@ -488,6 +553,22 @@ func (s *Selector) harvestViews(max int, deadline *time.Time) ([]*View, error) {
 		fired, err = s.collectFired(fired)
 		if err != nil {
 			return nil, err
+		}
+		if auto {
+			max = s.nextAutoBudget()
+		}
+		// The fairness cap (auto mode only): split the round's budget
+		// evenly across the circuits that fired, so one hot circuit
+		// cannot consume the whole round while ready siblings sit
+		// armed but unserved. Fixed-budget mode keeps the historical
+		// greedy sweep — which is exactly what the tuning ablation
+		// measures against.
+		perCircuit := max
+		if auto && len(fired) > 1 {
+			perCircuit = max / len(fired)
+			if perCircuit < 1 {
+				perCircuit = 1
+			}
 		}
 
 		var out []*View
@@ -510,9 +591,11 @@ func (s *Selector) harvestViews(max int, deadline *time.Time) ([]*View, error) {
 				dead = fmt.Errorf("%w: circuit %d closed while in selector", ErrNotConnected, fr.id)
 				continue
 			}
-			// Claim everything deliverable (up to the budget) under
-			// this one lock hold — the whole point of the harvest.
-			for len(out) < max {
+			// Claim everything deliverable (up to the budget and the
+			// fairness cap) under this one lock hold — the whole point
+			// of the harvest.
+			claimed := 0
+			for len(out) < max && claimed < perCircuit {
 				m := fr.l.availableLocked(d)
 				if m == nil {
 					break
@@ -520,13 +603,20 @@ func (s *Selector) harvestViews(max int, deadline *time.Time) ([]*View, error) {
 				fr.l.claimLocked(d, m)
 				out = append(out, &View{f: f, l: fr.l, m: m, id: fr.id})
 				total += m.Length
+				claimed++
 			}
 			more := fr.l.availableLocked(d) != nil
 			fr.l.lock.Unlock()
 			if more {
-				// Budget-limited with traffic left: stays armed.
+				// Budget- or cap-limited with traffic left: stays armed.
+				if claimed >= perCircuit && perCircuit < max {
+					f.stats.harvestCapHits.Add(1)
+				}
 				remark = append(remark, fr.id)
 			}
+		}
+		if auto && len(fired) > 0 {
+			s.observeHarvest(len(out), max)
 		}
 		if woken {
 			f.stats.muxWakeups.Add(1)

@@ -1,0 +1,28 @@
+package fastpath
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The ring header's producer/consumer split: head belongs to the
+// consumer, tail to the producer, and each side's zero-copy cursor
+// group follows the same ownership. This test freezes the padding so a
+// future field insertion cannot put the two sides back onto one
+// 64-byte line.
+func TestRingCursorLayout(t *testing.T) {
+	var r Ring
+	const line = 64
+	pairs := []struct {
+		name string
+		a, b uintptr
+	}{
+		{"head/tail", unsafe.Offsetof(r.head), unsafe.Offsetof(r.tail)},
+		{"tail/closed", unsafe.Offsetof(r.tail), unsafe.Offsetof(r.closed)},
+	}
+	for _, p := range pairs {
+		if p.b-p.a < line {
+			t.Errorf("%s only %d bytes apart, want >= %d", p.name, p.b-p.a, line)
+		}
+	}
+}

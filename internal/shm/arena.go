@@ -90,6 +90,7 @@ type Arena struct {
 	waiters int32
 
 	stats Stats
+	huge  HugeStats
 }
 
 // condSignal is a tiny condition variable over the arena spinlock. A full
@@ -110,6 +111,20 @@ type Stats struct {
 	HighWater   int32  // maximum simultaneously-allocated blocks
 }
 
+// HugeStats records the outcome of the huge-page hint, in the style of
+// LockStats: set once at creation, read lock-free by the bench so it
+// can report whether the hint took on this run.
+type HugeStats struct {
+	// Requested mirrors Config.HugePages.
+	Requested bool
+	// AdvisedBytes is how much of the region madvise actually covered
+	// after shrinking to 2 MiB boundaries (0 when the region is too
+	// small, the platform has no madvise, or the call failed).
+	AdvisedBytes int64
+	// Err holds the madvise failure, if any; advisory, never fatal.
+	Err error
+}
+
 // Config sizes an Arena.
 type Config struct {
 	// BlockSize is the size of each block in bytes, including the 4-byte
@@ -122,6 +137,12 @@ type Config struct {
 	// via a free bitmap instead of the paper's linked free list. All
 	// chain APIs work identically in both modes.
 	Spans bool
+	// HugePages asks the kernel to back the region with transparent
+	// huge pages (madvise MADV_HUGEPAGE on the region's huge-page-
+	// aligned interior). Purely advisory: unsupported platforms and
+	// small regions degrade to base pages; HugeStats reports whether
+	// and how far the hint took.
+	HugePages bool
 }
 
 // SizeFor estimates the arena configuration for a facility with the given
@@ -188,6 +209,10 @@ func NewAt(cfg Config, mem []byte) (*Arena, error) {
 		spans:     cfg.Spans,
 	}
 	a.cond.init()
+	if cfg.HugePages {
+		a.huge.Requested = true
+		a.huge.AdvisedBytes, a.huge.Err = AdviseHugeBytes(mem)
+	}
 	if a.spans {
 		a.freeBits = make([]uint64, (cfg.NumBlocks+63)/64)
 		for i := 0; i < cfg.NumBlocks; i++ {
@@ -262,6 +287,11 @@ func (a *Arena) Stats() Stats {
 func (a *Arena) LockStats() (acquisitions, contended uint64) {
 	return a.mu.Stats()
 }
+
+// HugeStats reports the huge-page hint's outcome for this arena's
+// region. Like LockStats it takes no lock: the fields are written once
+// at creation.
+func (a *Arena) HugeStats() HugeStats { return a.huge }
 
 func (a *Arena) setLink(off, next int32) {
 	binary.LittleEndian.PutUint32(a.mem[off:off+4], uint32(next))

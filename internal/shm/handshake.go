@@ -25,8 +25,10 @@ import (
 
 // HandshakeVersion is the current attach-protocol version. Bump it
 // whenever the frame layout or the in-segment structures it describes
-// change incompatibly.
-const HandshakeVersion = 1
+// change incompatibly. Version 2: NotifyWords widened to two cache
+// lines (NotifyBytes 8 → 128), moving the ring's space word and the
+// record base.
+const HandshakeVersion = 2
 
 // HandshakeBytes is the fixed wire size of an encoded handshake.
 const HandshakeBytes = 56

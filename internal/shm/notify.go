@@ -27,9 +27,17 @@ import (
 	"unsafe"
 )
 
-// NotifyBytes is a NotifyWord's in-segment footprint (count + sleeper
-// words; padding to a cache line is the layout's business).
-const NotifyBytes = 8
+// NotifyBytes is a NotifyWord's in-segment footprint: the event count
+// on one cache line and the sleeper count on the next. The two words
+// used to sit side by side, but they have disjoint writers — the
+// poster bumps the count, waiters bump the sleeper registration — so
+// packing them made every registration invalidate the poster's line
+// and vice versa. Two lines remove that false sharing.
+const NotifyBytes = 128
+
+// notifySleeperOff is the sleeper word's offset inside a NotifyWord's
+// footprint: one cache line past the event count.
+const notifySleeperOff = 64
 
 // notifySpin is the optimistic spin budget before a waiter sleeps in
 // the kernel. Gosched every few iterations keeps a same-process
@@ -63,11 +71,11 @@ type NotifyWord struct {
 }
 
 // NotifyAt binds a handle to the NotifyBytes-sized word pair at off
-// (4-aligned; 64-align it to keep the pair off hot neighbours).
+// (4-aligned; 64-align it so each word owns its line outright).
 func NotifyAt(seg *Segment, off int64) *NotifyWord {
 	return &NotifyWord{
 		w:        seg.Atomic32(off),
-		sleepers: seg.Atomic32(off + 4),
+		sleepers: seg.Atomic32(off + notifySleeperOff),
 		stats:    &WaitStats{},
 	}
 }

@@ -23,9 +23,9 @@ package shm
 //	+64   tail  (producer-owned index, consumer-read)
 //	+128  head  (consumer-owned index, producer-read)
 //	+192  closed flag
-//	+256  data NotifyWord  (posted by producer)
-//	+320  space NotifyWord (posted by consumer)
-//	+384  records: capacity × 16 bytes
+//	+256  data NotifyWord  (posted by producer; two lines — see NotifyBytes)
+//	+384  space NotifyWord (posted by consumer)
+//	+512  records: capacity × 16 bytes
 
 import (
 	"encoding/binary"
@@ -43,8 +43,12 @@ var ErrRingClosed = errors.New("shm: descriptor ring closed")
 var ErrRingTimeout = errors.New("shm: descriptor ring wait timed out")
 
 const (
-	ringMagic    = 0x4D505252 // "MPRR"
-	ringHdrBytes = 384
+	// ringMagic is "MPRS": bumped from "MPRR" when the NotifyWords grew
+	// to two cache lines each, so a stale-layout attach fails loudly at
+	// the magic check instead of aliasing the space word over the data
+	// word's sleeper count.
+	ringMagic    = 0x4D505253
+	ringHdrBytes = 512
 	// RecordBytes is the wire size of one descriptor.
 	RecordBytes = 16
 
@@ -54,7 +58,7 @@ const (
 	ringOffHead   = 128
 	ringOffClosed = 192
 	ringOffData   = 256
-	ringOffSpace  = 320
+	ringOffSpace  = 256 + NotifyBytes
 )
 
 // Record is one ring descriptor: a segment window plus protocol tag

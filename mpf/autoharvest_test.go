@@ -1,0 +1,93 @@
+package mpf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWaitViewsInvalidBudget covers the facade's invalid-budget path:
+// without WithAutoHarvest, a non-positive WaitViews budget is an error
+// (both forms), and the error explains that auto mode was not
+// configured rather than claiming a facade-level misuse.
+func TestWaitViewsInvalidBudget(t *testing.T) {
+	fac, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fac.Shutdown()
+	p, _ := fac.Process(0)
+	q, _ := fac.Process(1)
+	if _, err := p.OpenSend("inv"); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := q.OpenReceive("inv", FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := q.NewSelector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+	if err := sel.Add(rc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.WaitViews(0); err == nil {
+		t.Fatal("WaitViews(0) succeeded without WithAutoHarvest")
+	} else if !strings.Contains(err.Error(), "auto-harvest") {
+		t.Fatalf("WaitViews(0) error %q, want an auto-harvest explanation", err)
+	}
+	if _, err := sel.WaitViewsDeadline(-1, time.Second); err == nil {
+		t.Fatal("WaitViewsDeadline(-1) succeeded without WithAutoHarvest")
+	}
+}
+
+// TestWaitViewsAutoMode drives the facade's adaptive budget end to
+// end: WithAutoHarvest makes budget 0 legal, messages flow, and the
+// budget gauge is visible through facade Stats.
+func TestWaitViewsAutoMode(t *testing.T) {
+	fac, err := New(WithAutoHarvest(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fac.Shutdown()
+	p, _ := fac.Process(0)
+	q, _ := fac.Process(1)
+	sc, err := p.OpenSend("auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := q.OpenReceive("auto", FCFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := q.NewSelector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+	if err := sel.Add(rc); err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 20
+	for i := 0; i < msgs; i++ {
+		if err := sc.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	for got < msgs {
+		vs, err := sel.WaitViewsDeadline(0, 2*time.Second)
+		if err != nil {
+			t.Fatalf("after %d messages: %v", got, err)
+		}
+		for _, v := range vs {
+			got++
+			v.Release()
+		}
+	}
+	if g := fac.Stats().HarvestAutoBudget; g < 1 {
+		t.Fatalf("HarvestAutoBudget gauge = %d after auto rounds, want >= 1", g)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/affinity"
 	"repro/internal/core"
 	"repro/internal/proc"
 	"repro/internal/shm"
@@ -183,7 +184,9 @@ func (s *ProcServer) SendSegmentTo(conn *net.UnixConn, slot int) error {
 
 // Spawn execs n children of bin (one table slot each) and performs the
 // fd-passing handshake with every one. n must not exceed the table's
-// slot count.
+// slot count. When the facility was configured with WithAffinity, each
+// child process is pinned to its own CPU core (slot modulo the CPU
+// count) best-effort: restricted runners leave children floating.
 func (s *ProcServer) Spawn(n int, bin string, args []string, extraEnv []string) (*proc.ExecGroup, error) {
 	if n > s.table.NSlots() {
 		return nil, fmt.Errorf("mpf: spawning %d children for %d slots", n, s.table.NSlots())
@@ -192,7 +195,15 @@ func (s *ProcServer) Spawn(n int, bin string, args []string, extraEnv []string) 
 	if err != nil {
 		return nil, err
 	}
+	pin := s.fac.c.Config().Affinity
 	for i := 0; i < n; i++ {
+		if pin {
+			if p := g.Child(i).Cmd.Process; p != nil {
+				// Advisory: a cpuset that forbids the pin leaves the
+				// child floating, exactly like an unpinned run.
+				affinity.PinPID(p.Pid, i)
+			}
+		}
 		if err := s.SendSegmentTo(g.Child(i).Conn, i); err != nil {
 			g.Kill()
 			return nil, fmt.Errorf("mpf: handshake with child %d: %w", i, err)
