@@ -9,6 +9,7 @@
 //	mpfbench -loanbatch [-quick]
 //	mpfbench -credit [-quick]
 //	mpfbench -tuning [-quick]
+//	mpfbench -crash [-quick]
 //	mpfbench -json BENCH.json [-quick]
 //	mpfbench -compare old.json new.json [-tolerance 0.25]
 //	mpfbench -ablate schemes|blocksize|lockcost|paradigm [-quick]
@@ -54,10 +55,19 @@
 // (skipped gracefully where thread pinning is refused), and the
 // huge-page hint's throughput and MADV_HUGEPAGE outcome.
 //
+// -crash runs the crash-robustness ablation: K of 4 forked children
+// carry armed crash fault points (MPF_FAULTPOINTS) and die mid-protocol
+// at attach, claim, ack or fill; the respawn supervisor detects the
+// deaths, reclaims their slots (drains dead-generation ring records,
+// restores pinned views, refunds credit) and restarts them. The run
+// fails unless every slot ends reusable, the credit ledger is quiescent
+// and no arena block leaked; the table shows reclaim latency and the
+// throughput the surviving children sustained.
+//
 // -json measures the machine-readable performance trajectory — the
-// contention, selector, copies, loan-batch, credit, cross-process and
-// self-tuning headlines — and writes it to the given path (default
-// BENCH.json); CI uploads the file as an artifact.
+// contention, selector, copies, loan-batch, credit, cross-process,
+// self-tuning and crash headlines — and writes it to the given path
+// (default BENCH.json); CI uploads the file as an artifact.
 //
 // -compare loads two BENCH.json files (previous/baseline, then fresh),
 // prints a markdown delta table over every headline metric present in
@@ -127,6 +137,7 @@ func main() {
 	loanbatch := flag.Bool("loanbatch", false, "batched zero-copy ablation: LoanBatch/WaitViews pipeline vs the per-message loan/view plane")
 	credit := flag.Bool("credit", false, "flow-control fairness ablation: cold-circuit latency and hot throughput vs per-circuit credit budget")
 	tuning := flag.Bool("tuning", false, "self-tuning ablation: adaptive vs fixed harvest budgets, padded vs packed hot words, pinned vs floating workers, huge vs base pages")
+	crash := flag.Bool("crash", false, "crash-robustness ablation: kill K of 4 children at armed fault points, reclaim their slots, measure survivor throughput and reclaim latency")
 	jsonOut := flag.String("json", "", "measure the perf trajectory and write it as JSON to this path (use BENCH.json for the CI artifact)")
 	compare := flag.Bool("compare", false, "compare two BENCH.json files (old new); exit 1 on regression beyond -tolerance")
 	tolerance := flag.Float64("tolerance", 0.25, "relative loss a metric may take before -compare fails (0.25 = 25%)")
@@ -216,6 +227,12 @@ func main() {
 			fmt.Print(", xproc unsupported")
 		}
 		fmt.Printf(", tuning %.1fx round amortisation", summary.Tuning.RoundAmortisation)
+		if summary.Crash.Supported {
+			fmt.Printf(", crash %d/%d reclaimed @ %.0fµs max", summary.Crash.Deaths,
+				summary.Crash.Victims, summary.Crash.ReclaimMaxMicros)
+		} else {
+			fmt.Print(", crash unsupported")
+		}
 		fmt.Println(")")
 		return
 	}
@@ -272,6 +289,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(report)
+		return
+	}
+
+	if *crash {
+		table, err := bench.CrashSweep(*quick)
+		if err != nil {
+			if errors.Is(err, mpf.ErrNoSharedBackend) {
+				fmt.Println("crash ablation: no shared segment backend on this platform; skipped")
+				return
+			}
+			fmt.Fprintf(os.Stderr, "mpfbench: crash: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
 		return
 	}
 

@@ -124,6 +124,23 @@ func (s *JSONSummary) metrics() []metric {
 			metric{"tuning.pinned_vs_floating_advantage", s.Tuning.PinnedVsFloatingAdvantage, higherIsBetter, true},
 		)
 	}
+	// The crash section mirrors the xproc Supported gating. Survivor
+	// throughput is scale-dependent for the usual reason; reclaim
+	// completeness is a deterministic ratio (deaths over armed victims,
+	// 1.0 by construction — RunCrash fails outright on a missed death)
+	// held everywhere, including the ratios-only seed fallback, so a
+	// regression that silently stopped detecting deaths cannot pass the
+	// gate even on fresh hardware. The reclaim *latency* figures are
+	// trajectory-only, credit-style: they measure the supervisor's
+	// detection epoch (death-watcher poll + probe interval), which is
+	// configuration, not protocol performance, and no fixed tolerance
+	// fits a number dominated by scheduler jitter around a 5ms poll.
+	if s.Crash.Supported {
+		ms = append(ms,
+			metric{"crash.survivor_msgs_per_sec", s.Crash.SurvivorMsgsPerSec, higherIsBetter, true},
+			metric{"crash.reclaim_completeness", s.Crash.ReclaimCompleteness, higherIsBetter, false},
+		)
+	}
 	return ms
 }
 

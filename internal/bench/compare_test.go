@@ -7,10 +7,10 @@ import (
 	"testing"
 )
 
-// sampleSummary builds a plausible schema-5 summary for comparison
+// sampleSummary builds a plausible schema-6 summary for comparison
 // tests; the absolute numbers only have to be self-consistent.
 func sampleSummary() *JSONSummary {
-	s := &JSONSummary{Schema: 5}
+	s := &JSONSummary{Schema: 6}
 	s.Contention.Workers = 8
 	s.Contention.Batch = 16
 	s.Contention.UnshardedMsgsPerSec = 100_000
@@ -69,6 +69,19 @@ func sampleSummary() *JSONSummary {
 	s.Tuning.BasePagesMsgsPerSec = 330_000
 	s.Tuning.HugePagesMsgsPerSec = 340_000
 	s.Tuning.HugeVsBaseAdvantage = 1.03
+	s.Crash.Supported = true
+	s.Crash.Children = 4
+	s.Crash.Victims = 2
+	s.Crash.MsgsPerChild = 400
+	s.Crash.PayloadBytes = 512
+	s.Crash.Deaths = 2
+	s.Crash.Respawns = 2
+	s.Crash.ReclaimCompleteness = 1.0
+	s.Crash.SurvivorMsgsPerSec = 40_000
+	s.Crash.ReclaimMeanMicros = 12
+	s.Crash.ReclaimMaxMicros = 30
+	s.Crash.ReclaimedViews = 3
+	s.Crash.ReclaimedCredits = 5
 	return s
 }
 
@@ -276,6 +289,53 @@ func TestCompareTuningSection(t *testing.T) {
 	newS.Tuning.PinnedVsFloatingAdvantage = 0
 	if _, regressions, err := Compare(oldS, newS, 0.25, false); err != nil || regressions != 0 {
 		t.Fatalf("supported→unsupported affinity pair: %d regressions (err %v), want 0", regressions, err)
+	}
+}
+
+// TestCompareCrashSection: reclaim completeness is a deterministic
+// ratio held everywhere — including the committed-seed ratios-only
+// fallback, so a build that silently stops detecting deaths cannot
+// pass on fresh hardware — while survivor throughput is
+// scale-dependent, and an unsupported side drops the whole section
+// from the intersection (the xproc pattern).
+func TestCompareCrashSection(t *testing.T) {
+	oldS, newS := sampleSummary(), sampleSummary()
+	newS.Crash.ReclaimCompleteness = 0.5 // a death went undetected
+	rows, regressions, err := Compare(oldS, newS, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("halved completeness in ratios-only mode found %d regressions, want 1", regressions)
+	}
+	var hit bool
+	for _, r := range rows {
+		if r.Name == "crash.reclaim_completeness" {
+			hit = r.Regressed
+		}
+	}
+	if !hit {
+		t.Error("completeness drop not flagged on its own row")
+	}
+
+	// Survivor throughput: held same-pool, skipped against a foreign
+	// seed.
+	newS = sampleSummary()
+	newS.Crash.SurvivorMsgsPerSec *= 0.5
+	if _, regressions, err := Compare(oldS, newS, 0.25, false); err != nil || regressions != 1 {
+		t.Fatalf("halved survivor throughput: %d regressions (err %v), want 1", regressions, err)
+	}
+	if _, regressions, err := Compare(oldS, newS, 0.25, true); err != nil || regressions != 0 {
+		t.Fatalf("ratios-only held survivor throughput: %d regressions (err %v)", regressions, err)
+	}
+
+	// Unsupported on either side: the section leaves the intersection.
+	newS = sampleSummary()
+	newS.Crash.Supported = false
+	newS.Crash.SurvivorMsgsPerSec = 0
+	newS.Crash.ReclaimCompleteness = 0
+	if _, regressions, err := Compare(oldS, newS, 0.25, false); err != nil || regressions != 0 {
+		t.Fatalf("supported→unsupported crash pair: %d regressions (err %v), want 0", regressions, err)
 	}
 }
 

@@ -1,0 +1,271 @@
+package bench
+
+// The crash-robustness ablation (PR 9). The cross-process leg (xproc.go)
+// measures the protocol when every child lives; this leg measures what
+// a child's death costs everyone else. K of N children are spawned with
+// armed crash fault points (faultpoint.EnvVar in their environment —
+// they os.Exit mid-protocol at attach, claim, ack or fill), the respawn
+// supervisor detects the deaths and reclaims their slots, and the run
+// records reclaim latency, reclaim completeness and the throughput the
+// surviving children sustained through it all.
+//
+// The measurement doubles as the robustness gate: RunCrash fails unless
+// every slot is reusable afterwards, the credit ledger is quiescent and
+// not one arena block leaked — the acceptance criteria of
+// TestCrashReclamation, enforced inside the measurement the same way
+// RunXProc enforces the zero-copy ledger.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultpoint"
+	"repro/mpf"
+)
+
+// CrashResult is one crash-ablation measurement.
+type CrashResult struct {
+	Children     int
+	Victims      int
+	MsgsPerChild int
+	PayloadBytes int
+	// Deaths counts reclaims the supervisor performed; with one armed
+	// crash point per victim and clean respawn environments it equals
+	// Victims deterministically. Respawns counts successful restarts.
+	Deaths   int
+	Respawns int
+	// SurvivorMsgsPerSec is the round-trip throughput of the children
+	// that were never killed, over their own completion window — the
+	// "does a neighbour's crash stall me" number.
+	SurvivorMsgsPerSec float64
+	// Reclaim latency (death detection to slot free), over all deaths.
+	ReclaimMeanMicros float64
+	ReclaimMaxMicros  float64
+	// What the reclaims recovered, from the facility's counters.
+	ReclaimedViews   uint64
+	ReclaimedCredits uint64
+}
+
+// crashVictimSpec picks the fault point for victim v: the spec cycles
+// through the protocol stages (ack in the down phase, fill in the up
+// phase, the claim itself) and varies the hit count by victim index so
+// concurrent victims die at different depths into the workload.
+func crashVictimSpec(v, msgs int) string {
+	switch v % 3 {
+	case 0:
+		return fmt.Sprintf("child-ack:crash@%d", 1+(v*7)%max(1, msgs/2))
+	case 1:
+		return fmt.Sprintf("child-fill:crash@%d", 1+(v*11)%max(1, msgs/2))
+	default:
+		return "child-claim:crash"
+	}
+}
+
+// RunCrash serves a memfd-backed facility, spawns children of which the
+// first victims carry armed crash fault points, supervises them with a
+// respawn budget, and drives the full two-phase workload through every
+// slot — retrying a slot's phase when its peer dies, so the run only
+// completes once every slot (original or respawned incarnation) has
+// delivered its messages. It returns an error if any slot ends
+// unreusable, the credit ledger ends non-quiescent, or any arena block
+// leaked: a successful CrashResult *is* the robustness proof.
+func RunCrash(bin string, extraEnv []string, children, victims, msgsPerChild, size int) (*CrashResult, error) {
+	if victims > children {
+		return nil, fmt.Errorf("bench: %d victims among %d children", victims, children)
+	}
+	srv, err := mpf.ServeProc(mpf.ServeConfig{
+		Children: children,
+		RingCap:  64,
+		Options:  []mpf.Option{mpf.WithBlockSize(512), mpf.WithBlocksPerProcess(256), mpf.WithCredit(64)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	arena := srv.Facility().Core().Arena()
+	totalBlocks := arena.FreeBlocks()
+
+	group, err := srv.SpawnEnv(children, bin, nil, func(i int) []string {
+		env := append([]string(nil), extraEnv...)
+		if i < victims {
+			env = append(env, faultpoint.EnvVar+"="+crashVictimSpec(i, msgsPerChild))
+		}
+		return env
+	})
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+
+	var (
+		mu       sync.Mutex
+		reports  []mpf.ReclaimReport
+		respawns int
+	)
+	sup := srv.Supervise(group, mpf.SuperviseConfig{
+		Respawn:       2,
+		Backoff:       2 * time.Millisecond,
+		ProbeInterval: 25 * time.Millisecond,
+		// Replacements get the worker-mode environment but NOT the
+		// victim's fault spec: a respawn that re-armed the same crash
+		// point would die identically, forever.
+		RespawnEnv: func(int, int) []string { return append([]string(nil), extraEnv...) },
+		OnDeath: func(r mpf.ReclaimReport) {
+			mu.Lock()
+			reports = append(reports, r)
+			mu.Unlock()
+		},
+		OnRespawn: func(int, int) {
+			mu.Lock()
+			respawns++
+			mu.Unlock()
+		},
+	})
+	fail := func(err error) (*CrashResult, error) {
+		sup.Stop()
+		group.Kill()
+		srv.Close()
+		return nil, err
+	}
+
+	start := time.Now()
+	type slotDone struct {
+		slot    int
+		elapsed time.Duration
+		err     error
+	}
+	done := make(chan slotDone, children)
+	for slot := 0; slot < children; slot++ {
+		go func(slot int) {
+			err := driveCrashSlot(srv, slot, msgsPerChild, size)
+			done <- slotDone{slot, time.Since(start), err}
+		}(slot)
+	}
+	var survivorLast time.Duration
+	var firstErr error
+	for i := 0; i < children; i++ {
+		d := <-done
+		if d.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("bench: crash slot %d: %w", d.slot, d.err)
+		}
+		if d.slot >= victims && d.elapsed > survivorLast {
+			survivorLast = d.elapsed
+		}
+	}
+	if firstErr != nil {
+		return fail(firstErr)
+	}
+	if err := group.Wait(60 * time.Second); err != nil {
+		return fail(fmt.Errorf("bench: crash children: %w", err))
+	}
+	sup.Stop()
+
+	// The robustness gate, enforced inside the measurement: every slot
+	// claimable again, ledger quiescent, zero leaked pins.
+	for slot := 0; slot < children; slot++ {
+		if st := srv.Table().SlotState(slot); st != core.SlotFree && st != core.SlotDetached {
+			srv.Close()
+			return nil, fmt.Errorf("bench: crash left slot %d in state %d (not reusable)", slot, st)
+		}
+	}
+	st := srv.Facility().Stats()
+	if st.CreditsHeld != 0 {
+		srv.Close()
+		return nil, fmt.Errorf("bench: crash left %d credit blocks held", st.CreditsHeld)
+	}
+	if free := arena.FreeBlocks(); free != totalBlocks {
+		srv.Close()
+		return nil, fmt.Errorf("bench: crash leaked %d of %d arena blocks", totalBlocks-free, totalBlocks)
+	}
+	if err := srv.Close(); err != nil {
+		return nil, fmt.Errorf("bench: crash segment unmap: %w", err)
+	}
+
+	res := &CrashResult{
+		Children:     children,
+		Victims:      victims,
+		MsgsPerChild: msgsPerChild,
+		PayloadBytes: size,
+		Deaths:       len(reports),
+		Respawns:     respawns,
+	}
+	for _, r := range reports {
+		micros := float64(r.Elapsed) / float64(time.Microsecond)
+		res.ReclaimMeanMicros += micros
+		if micros > res.ReclaimMaxMicros {
+			res.ReclaimMaxMicros = micros
+		}
+	}
+	if len(reports) > 0 {
+		res.ReclaimMeanMicros /= float64(len(reports))
+	}
+	res.ReclaimedViews = st.ReclaimedViews
+	res.ReclaimedCredits = st.ReclaimedCredits
+	if n := children - victims; n > 0 && survivorLast > 0 {
+		res.SurvivorMsgsPerSec = float64(2*n*msgsPerChild) / survivorLast.Seconds()
+	}
+	return res, nil
+}
+
+// driveCrashSlot runs the two-phase workload over one slot, retrying a
+// phase when the peer dies mid-way: the supervisor reclaims the slot
+// and respawns a replacement, the retry binds to the new incarnation,
+// and the phase restarts from its first message. Retries back off
+// briefly because a retry can land in the reclaim's own window (slot
+// marked dead but not yet freed).
+func driveCrashSlot(srv *mpf.ProcServer, slot, msgs, size int) error {
+	phase := func(name string, f func() error) error {
+		var err error
+		for attempt := 0; attempt < 6; attempt++ {
+			if err = f(); err == nil || !errors.Is(err, mpf.ErrPeerDead) {
+				break
+			}
+			time.Sleep(time.Duration(attempt+1) * 10 * time.Millisecond)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return nil
+	}
+	if err := phase("down", func() error {
+		_, err := srv.BridgeDown(slot, msgs, size)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := phase("up", func() error {
+		_, err := srv.BridgeUp(slot, msgs, size)
+		return err
+	}); err != nil {
+		return err
+	}
+	return phase("finish", func() error { return srv.FinishSlot(slot) })
+}
+
+// CrashSweep renders the crash ablation table: one and two victims out
+// of four children, with reclaim latency and survivor throughput.
+func CrashSweep(quick bool) (string, error) {
+	if XProcSpawnSelf == nil {
+		return "", fmt.Errorf("bench: no cross-process spawn hook on this path")
+	}
+	bin, env := XProcSpawnSelf()
+	children, msgs := 4, 600
+	if quick {
+		msgs = 150
+	}
+	out := fmt.Sprintf("Crash ablation (%d children, %d msgs/child/phase, respawn supervisor, 512B payloads)\n", children, msgs)
+	out += fmt.Sprintf("%8s %8s %9s %18s %16s %16s\n",
+		"victims", "deaths", "respawns", "survivor msgs/s", "reclaim mean µs", "reclaim max µs")
+	for _, victims := range []int{1, 2} {
+		r, err := RunCrash(bin, env, children, victims, msgs, 512)
+		if err != nil {
+			return "", err
+		}
+		out += fmt.Sprintf("%8d %8d %9d %18.0f %16.1f %16.1f\n",
+			r.Victims, r.Deaths, r.Respawns, r.SurvivorMsgsPerSec,
+			r.ReclaimMeanMicros, r.ReclaimMaxMicros)
+	}
+	return out, nil
+}

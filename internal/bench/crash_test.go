@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultpoint"
+	"repro/mpf"
+)
+
+// TestCrashReclamation is the PR 9 acceptance gate: kill K of 4
+// children at armed fault points mid-traffic and require that every
+// death was detected and reclaimed, every victim was respawned, the
+// survivors made progress throughout, and the facility ended pristine.
+// RunCrash itself enforces the pristine part — every slot reusable,
+// credit ledger quiescent, zero leaked arena blocks — by failing the
+// measurement otherwise, so a non-nil result already carries most of
+// the proof.
+func TestCrashReclamation(t *testing.T) {
+	bin, env := XProcSpawnSelf()
+	const children, victims = 4, 2
+	r, err := RunCrash(bin, env, children, victims, 120, 512)
+	if errors.Is(err, mpf.ErrNoSharedBackend) {
+		t.Skip("no shared segment backend on this platform")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Deaths != victims {
+		t.Errorf("deaths = %d, want %d (one per armed victim)", r.Deaths, victims)
+	}
+	if r.Respawns != victims {
+		t.Errorf("respawns = %d, want %d", r.Respawns, victims)
+	}
+	if r.SurvivorMsgsPerSec <= 0 {
+		t.Error("survivors recorded no throughput")
+	}
+	if r.Deaths > 0 && r.ReclaimMaxMicros <= 0 {
+		t.Error("reclaim latency not recorded")
+	}
+	t.Logf("crash: %d deaths, %d respawns, survivors %.0f msgs/s, reclaim mean %.1fµs max %.1fµs, recovered %d views + %d credits",
+		r.Deaths, r.Respawns, r.SurvivorMsgsPerSec,
+		r.ReclaimMeanMicros, r.ReclaimMaxMicros, r.ReclaimedViews, r.ReclaimedCredits)
+}
+
+// TestCrashVictimSpecs: the victim fault specs must parse (a typo here
+// would make every victim fail attach with a spec error instead of
+// crashing at its point) and cover more than one protocol stage.
+func TestCrashVictimSpecs(t *testing.T) {
+	defer faultpoint.Reset()
+	stages := map[string]bool{}
+	for v := 0; v < 6; v++ {
+		spec := crashVictimSpec(v, 120)
+		faultpoint.Reset()
+		if err := faultpoint.Set(spec); err != nil {
+			t.Errorf("victim %d spec %q does not parse: %v", v, spec, err)
+		}
+		stages[spec] = true
+	}
+	if len(stages) < 3 {
+		t.Errorf("victim specs collapsed to %d distinct points: %v", len(stages), stages)
+	}
+}

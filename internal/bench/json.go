@@ -11,11 +11,11 @@ import (
 )
 
 // Machine-readable performance trajectory. Summary runs compact
-// versions of the seven headline benchmarks — contention scaling
+// versions of the eight headline benchmarks — contention scaling
 // (PR 1), selector wakeups (PR 2), the copies ablation (PR 3), the
 // batched loan/harvest plane (PR 4), the credit-fairness ablation
-// (PR 5), the cross-process leg (PR 6) and the self-tuning ablation
-// (PR 8) — and
+// (PR 5), the cross-process leg (PR 6), the self-tuning ablation
+// (PR 8) and the crash-robustness ablation (PR 9) — and
 // JSONSummary.Write serialises the result as BENCH.json,
 // which CI uploads as an artifact so the repository's throughput
 // history can be charted across commits without re-parsing log text.
@@ -162,6 +162,35 @@ type JSONSummary struct {
 		HugePagesMsgsPerSec float64 `json:"huge_pages_msgs_per_sec"`
 		HugeVsBaseAdvantage float64 `json:"huge_vs_base_advantage"`
 	} `json:"tuning"`
+
+	// Crash is the PR 9 headline: the crash-robustness ablation. K of N
+	// children die at armed fault points mid-traffic; the respawn
+	// supervisor reclaims their slots and restarts them, and the run
+	// records what that cost the survivors. Supported mirrors the xproc
+	// gate (same spawn-hook and shared-backend requirements). The
+	// reclaim completeness (deaths over victims) is deterministic — a
+	// run that misses a death fails RunCrash outright, so a recorded
+	// value below 1 cannot happen without the gate tripping first — and
+	// the latency figures are trajectory-only: they measure the
+	// supervisor's detection epoch (death-watcher poll period), which is
+	// configuration, not protocol speed. Schema 6.
+	Crash struct {
+		Supported    bool `json:"supported"`
+		Children     int  `json:"children"`
+		Victims      int  `json:"victims"`
+		MsgsPerChild int  `json:"msgs_per_child"`
+		PayloadBytes int  `json:"payload_bytes"`
+		Deaths       int  `json:"deaths"`
+		Respawns     int  `json:"respawns"`
+		// ReclaimCompleteness is deaths/victims: 1.0 when every armed
+		// victim's death was detected and its slot reclaimed.
+		ReclaimCompleteness float64 `json:"reclaim_completeness"`
+		SurvivorMsgsPerSec  float64 `json:"survivor_msgs_per_sec"`
+		ReclaimMeanMicros   float64 `json:"reclaim_mean_micros"`
+		ReclaimMaxMicros    float64 `json:"reclaim_max_micros"`
+		ReclaimedViews      uint64  `json:"reclaimed_views"`
+		ReclaimedCredits    uint64  `json:"reclaimed_credits"`
+	} `json:"crash"`
 }
 
 // CopiesPoint is one copies-ablation measurement in BENCH.json.
@@ -189,7 +218,7 @@ type CopiesPoint struct {
 // section, the credit fairness run, whose uncredited leg deliberately
 // holds a starvation monopoly open for seconds.
 func Summary(quick bool) (*JSONSummary, error) {
-	s := &JSONSummary{Schema: 5}
+	s := &JSONSummary{Schema: 6}
 	const attempts = 3
 
 	// Contention: the PR 1 headline configuration.
@@ -454,6 +483,43 @@ func Summary(quick bool) (*JSONSummary, error) {
 	}
 	if s.Tuning.BasePagesMsgsPerSec > 0 {
 		s.Tuning.HugeVsBaseAdvantage = s.Tuning.HugePagesMsgsPerSec / s.Tuning.BasePagesMsgsPerSec
+	}
+
+	// Crash: the PR 9 robustness headline. Like xproc it needs the spawn
+	// hook and a shared backend; unlike the others it spawns, kills and
+	// respawns real processes per attempt, so it runs twice, best-of, at
+	// a modest message count. The deterministic fields (deaths,
+	// completeness) land identically every attempt by construction.
+	cChildren, cVictims, cMsgs := 4, 2, 400
+	if quick {
+		cMsgs = 100
+	}
+	s.Crash.Children = cChildren
+	s.Crash.Victims = cVictims
+	s.Crash.MsgsPerChild = cMsgs
+	s.Crash.PayloadBytes = 512
+	if XProcSpawnSelf != nil {
+		bin, env := XProcSpawnSelf()
+		for i := 0; i < 2; i++ {
+			r, err := RunCrash(bin, env, cChildren, cVictims, cMsgs, 512)
+			if errors.Is(err, mpf.ErrNoSharedBackend) {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bench: summary crash: %w", err)
+			}
+			s.Crash.Supported = true
+			s.Crash.Deaths = r.Deaths
+			s.Crash.Respawns = r.Respawns
+			s.Crash.ReclaimCompleteness = float64(r.Deaths) / float64(cVictims)
+			if r.SurvivorMsgsPerSec > s.Crash.SurvivorMsgsPerSec {
+				s.Crash.SurvivorMsgsPerSec = r.SurvivorMsgsPerSec
+				s.Crash.ReclaimMeanMicros = r.ReclaimMeanMicros
+				s.Crash.ReclaimMaxMicros = r.ReclaimMaxMicros
+				s.Crash.ReclaimedViews = r.ReclaimedViews
+				s.Crash.ReclaimedCredits = r.ReclaimedCredits
+			}
+		}
 	}
 	return s, nil
 }

@@ -146,8 +146,8 @@ func TestSummaryTuningSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Schema != 5 {
-		t.Fatalf("schema %d, want 5", s.Schema)
+	if s.Schema != 6 {
+		t.Fatalf("schema %d, want 6", s.Schema)
 	}
 	tu := s.Tuning
 	if tu.FixedMsgsPerSec <= 0 || tu.AutoMsgsPerSec <= 0 {

@@ -76,8 +76,8 @@ func TestSummaryXProcSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Schema != 5 {
-		t.Fatalf("schema %d, want 5", s.Schema)
+	if s.Schema != 6 {
+		t.Fatalf("schema %d, want 6", s.Schema)
 	}
 	probe, err := mpf.ServeProc(mpf.ServeConfig{Children: 1})
 	if errors.Is(err, mpf.ErrNoSharedBackend) {
@@ -96,5 +96,16 @@ func TestSummaryXProcSection(t *testing.T) {
 	if s.XProc.MsgsPerSec <= 0 || s.XProc.SpinPollsPerMsgPlus1 < 1 ||
 		s.XProc.FutexSleepsPerMsgPlus1 < 1 || s.XProc.FutexWakesPerMsgPlus1 < 1 {
 		t.Fatalf("implausible xproc section: %+v", s.XProc)
+	}
+	// The crash section rides the same spawn-hook/backend gate, so on
+	// this platform it must be populated too — with every armed victim
+	// detected (completeness is deterministic) and the survivors having
+	// made progress.
+	if !s.Crash.Supported {
+		t.Fatal("crash section unsupported on a platform with a shared backend")
+	}
+	if s.Crash.Deaths != s.Crash.Victims || s.Crash.ReclaimCompleteness != 1 ||
+		s.Crash.SurvivorMsgsPerSec <= 0 {
+		t.Fatalf("implausible crash section: %+v", s.Crash)
 	}
 }

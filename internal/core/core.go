@@ -64,6 +64,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/msg"
 	"repro/internal/shm"
@@ -312,6 +313,17 @@ type Stats struct {
 	// fixed-budget sweep).
 	HarvestAutoBudget uint64
 	HarvestCapHits    uint64
+	// Crash robustness (the cross-process reaper/reclaimer). PeerDeaths
+	// counts segment peers declared dead and reclaimed; ReclaimedViews
+	// counts in-flight descriptors discarded or unpinned during those
+	// reclaims (views the dead peer held or would have received);
+	// ReclaimedCredits counts credit blocks refunded to the ledger; and
+	// ReclaimLatencyNanos accumulates wall time spent inside reclaim —
+	// divide by PeerDeaths for the mean death-to-slot-free latency.
+	PeerDeaths          uint64
+	ReclaimedViews      uint64
+	ReclaimedCredits    uint64
+	ReclaimLatencyNanos uint64
 }
 
 type statsCell struct {
@@ -337,6 +349,10 @@ type statsCell struct {
 	creditsHeld           atomic.Int64  // gauge: debits minus grants
 	harvestAutoBudget     atomic.Uint64 // gauge: last EWMA-sized budget
 	harvestCapHits        atomic.Uint64
+	peerDeaths            atomic.Uint64
+	reclaimedViews        atomic.Uint64
+	reclaimedCredits      atomic.Uint64
+	reclaimLatencyNanos   atomic.Uint64
 }
 
 func (s *statsCell) snapshot() Stats {
@@ -346,22 +362,26 @@ func (s *statsCell) snapshot() Stats {
 		BytesSent: s.bytesSent.Load(), BytesRecvd: s.bytesRecvd.Load(),
 		Checks:       s.checks.Load(),
 		LNVCsCreated: s.lnvcsCreated.Load(), LNVCsDeleted: s.lnvcsDeleted.Load(),
-		MessagesDropped:   s.messagesDropped.Load(),
-		ReceiveWaits:      s.receiveWaits.Load(),
-		BatchSends:        s.batchSends.Load(),
-		BatchReceives:     s.batchReceives.Load(),
-		MuxWakeups:        s.muxWakeups.Load(),
-		MuxSpurious:       s.muxSpurious.Load(),
-		PayloadCopiesIn:   s.payloadCopiesIn.Load(),
-		PayloadCopiesOut:  s.payloadCopiesOut.Load(),
-		LoanSends:         s.loanSends.Load(),
-		ViewReceives:      s.viewReceives.Load(),
-		LoanBatchSends:    s.loanBatchSends.Load(),
-		HarvestedViews:    s.harvestedViews.Load(),
-		CreditStalls:      s.creditStalls.Load(),
-		CreditsHeld:       clampGauge(s.creditsHeld.Load()),
-		HarvestAutoBudget: s.harvestAutoBudget.Load(),
-		HarvestCapHits:    s.harvestCapHits.Load(),
+		MessagesDropped:     s.messagesDropped.Load(),
+		ReceiveWaits:        s.receiveWaits.Load(),
+		BatchSends:          s.batchSends.Load(),
+		BatchReceives:       s.batchReceives.Load(),
+		MuxWakeups:          s.muxWakeups.Load(),
+		MuxSpurious:         s.muxSpurious.Load(),
+		PayloadCopiesIn:     s.payloadCopiesIn.Load(),
+		PayloadCopiesOut:    s.payloadCopiesOut.Load(),
+		LoanSends:           s.loanSends.Load(),
+		ViewReceives:        s.viewReceives.Load(),
+		LoanBatchSends:      s.loanBatchSends.Load(),
+		HarvestedViews:      s.harvestedViews.Load(),
+		CreditStalls:        s.creditStalls.Load(),
+		CreditsHeld:         clampGauge(s.creditsHeld.Load()),
+		HarvestAutoBudget:   s.harvestAutoBudget.Load(),
+		HarvestCapHits:      s.harvestCapHits.Load(),
+		PeerDeaths:          s.peerDeaths.Load(),
+		ReclaimedViews:      s.reclaimedViews.Load(),
+		ReclaimedCredits:    s.reclaimedCredits.Load(),
+		ReclaimLatencyNanos: s.reclaimLatencyNanos.Load(),
 	}
 }
 
@@ -496,6 +516,21 @@ func (f *Facility) Stats() Stats {
 	st.RegistryAcquisitions = t.Acquisitions
 	st.RegistryContended = t.Contended
 	return st
+}
+
+// NotePeerReclaim records the outcome of one dead-peer reclamation in
+// the facility's counters and trace: views discarded or unpinned,
+// credit blocks refunded, and the wall time from death detection to
+// the slot returning to free. Called by the cross-process server's
+// reclaimer (mpf.ProcServer); it lives here because the counters do.
+func (f *Facility) NotePeerReclaim(pid int, views, credits uint64, d time.Duration) {
+	f.stats.peerDeaths.Add(1)
+	f.stats.reclaimedViews.Add(views)
+	f.stats.reclaimedCredits.Add(credits)
+	if d > 0 {
+		f.stats.reclaimLatencyNanos.Add(uint64(d.Nanoseconds()))
+	}
+	f.trace(Event{Op: OpPeerReclaim, PID: pid, Bytes: int(views + credits)})
 }
 
 // Config returns the effective (default-filled) configuration.

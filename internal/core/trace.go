@@ -27,6 +27,12 @@ const (
 	// receiver-side grant. Bytes carries the parked demand in region
 	// bytes (accounted blocks times the block size).
 	OpCreditStall
+	// OpPeerReclaim records one dead-peer reclamation: a segment peer
+	// died and the serving facility tore down its bridge, restored its
+	// pinned views, refunded its credit and freed its table slot. PID
+	// carries the dead peer's slot-local pid; Bytes the reclaimed
+	// resource count (views plus credit blocks).
+	OpPeerReclaim
 )
 
 var opNames = [...]string{
@@ -48,6 +54,7 @@ var opNames = [...]string{
 	OpLoanBatchCommit: "message_send_loan_batch",
 	OpHarvestViews:    "harvest_views",
 	OpCreditStall:     "credit_stall",
+	OpPeerReclaim:     "peer_reclaim",
 }
 
 // String returns the paper's name for the primitive.

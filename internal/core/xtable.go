@@ -22,8 +22,11 @@ package core
 //	+8   generation (uint64)
 //	+16  nSlots, ringCap (uint32 each)
 //	+64  slot 0, +128 slot 1, … (64 bytes per slot):
-//	       +0  state    free(0) / attached(1) / detached(2), CAS-owned
-//	       +4  attaches cumulative attach count for the slot
+//	       +0  state    free(0)/attached(1)/detached(2)/dead(3) in the
+//	            low byte, the slot's cumulative attach generation in
+//	            the high 24 bits — one word, so every transition is one
+//	            CAS that names both the state AND the incarnation it
+//	            applies to
 //	       +8  pid      attached peer's pid (informational)
 //	       +16 downOff  segment offset of the parent→child ring
 //	       +24 upOff    segment offset of the child→parent ring
@@ -32,6 +35,17 @@ package core
 // Slot claiming is one CAS on the state word, so peers may attach and
 // detach concurrently with each other and with the serving facility's
 // allocator traffic — TestSegmentAttachChurnRace drives exactly that.
+//
+// Crash robustness (table version 2) rides on the packed generation:
+// a reaper that decides slot i's owner died marks it dead with
+// MarkDead(i, gen) — a CAS from (attached|gen) to (dead|gen) that can
+// only ever hit the incarnation the reaper observed. If the owner
+// detached and a new peer claimed the slot in the meantime, the
+// generation moved and the CAS fails harmlessly: a recycled OS pid can
+// never get a live newcomer reclaimed out from under it. Dead slots
+// refuse Claim until the reclaimer finishes tearing down the
+// incarnation's in-flight state and releases the slot with
+// FreeSlot(i, gen).
 
 import (
 	"errors"
@@ -40,24 +54,37 @@ import (
 	"repro/internal/shm"
 )
 
-// Slot states, CAS-transitioned free→attached→detached→attached→… .
+// Slot states (the low byte of the slot state word), CAS-transitioned
+// free→attached→{detached,dead}→…; dead→free is the reclaimer's
+// transition, everything else may claim free or detached slots.
 const (
 	SlotFree     uint32 = 0
 	SlotAttached uint32 = 1
 	SlotDetached uint32 = 2
+	// SlotDead marks a slot whose owner was declared dead by a reaper;
+	// it refuses claims until reclamation completes (FreeSlot).
+	SlotDead uint32 = 3
 )
 
 const (
-	segTableMagic   = 0x5458504D // "MPXT"
-	segTableVersion = 1
+	segTableMagic = 0x5458504D // "MPXT"
+	// segTableVersion 2: the slot state word packs the cumulative
+	// attach generation into its high 24 bits (it used to live in a
+	// separate word), making dead-peer marking a single ABA-safe CAS.
+	segTableVersion = 2
 	segTableHdr     = 64
 	segSlotBytes    = 64
 
-	slotOffState    = 0
-	slotOffAttaches = 4
-	slotOffPid      = 8
-	slotOffDown     = 16
-	slotOffUp       = 24
+	slotOffState = 0
+	slotOffPid   = 8
+	slotOffDown  = 16
+	slotOffUp    = 24
+
+	// slotStateMask isolates the state from the packed word; the attach
+	// generation occupies the remaining 24 bits (wrap-around after 16M
+	// attaches of one slot is acceptable ABA exposure).
+	slotStateMask = 0xFF
+	slotGenShift  = 8
 )
 
 // ErrGenerationMismatch is returned when a peer attaches with a
@@ -67,6 +94,10 @@ var ErrGenerationMismatch = errors.New("mpf: segment table generation mismatch")
 
 // ErrNoFreeSlot is returned by ClaimAny when every slot is attached.
 var ErrNoFreeSlot = errors.New("mpf: no free segment table slot")
+
+// ErrSlotDead is returned by Claim when the slot is held mid-reclaim:
+// its previous owner died and the reclaimer has not freed it yet.
+var ErrSlotDead = errors.New("mpf: segment table slot held by dead-peer reclamation")
 
 // SegTable is a process-local handle onto the in-segment table. Every
 // attached process holds its own handle over its own mapping.
@@ -170,20 +201,32 @@ func (t *SegTable) RingCap() int { return t.ringCap }
 func (t *SegTable) Generation() uint64 { return t.gen }
 
 // Claim takes ownership of slot i for a peer with the given pid: one
-// CAS from free or detached to attached. A slot already attached is
-// refused.
+// CAS from free or detached to attached, bumping the slot's attach
+// generation in the same word. A slot already attached is refused;
+// a dead slot is refused with ErrSlotDead until reclamation frees it.
 func (t *SegTable) Claim(i int, pid uint32) error {
+	_, err := t.ClaimGen(i, pid)
+	return err
+}
+
+// ClaimGen is Claim returning the attach generation the claim was
+// stamped with — the number peers bake into in-flight ring-record tags
+// so records from a dead previous incarnation can be told apart.
+func (t *SegTable) ClaimGen(i int, pid uint32) (uint32, error) {
 	t.checkSlot(i)
 	state := t.seg.Atomic32(t.slotBase(i) + slotOffState)
 	for {
-		s := state.Load()
-		if s == SlotAttached {
-			return fmt.Errorf("mpf: segment table slot %d already attached", i)
+		w := state.Load()
+		switch w & slotStateMask {
+		case SlotAttached:
+			return 0, fmt.Errorf("mpf: segment table slot %d already attached", i)
+		case SlotDead:
+			return 0, fmt.Errorf("mpf: segment table slot %d: %w", i, ErrSlotDead)
 		}
-		if state.CompareAndSwap(s, SlotAttached) {
+		gen := (w>>slotGenShift + 1) & (1<<24 - 1)
+		if state.CompareAndSwap(w, SlotAttached|gen<<slotGenShift) {
 			t.seg.Atomic32(t.slotBase(i) + slotOffPid).Store(pid)
-			t.seg.Atomic32(t.slotBase(i) + slotOffAttaches).Add(1)
-			return nil
+			return gen, nil
 		}
 	}
 }
@@ -191,7 +234,7 @@ func (t *SegTable) Claim(i int, pid uint32) error {
 // ClaimAny claims the first available slot, returning its index.
 func (t *SegTable) ClaimAny(pid uint32) (int, error) {
 	for i := 0; i < t.nSlots; i++ {
-		if s := t.SlotState(i); s == SlotAttached {
+		if s := t.SlotState(i); s == SlotAttached || s == SlotDead {
 			continue
 		}
 		if err := t.Claim(i, pid); err == nil {
@@ -201,17 +244,65 @@ func (t *SegTable) ClaimAny(pid uint32) (int, error) {
 	return -1, ErrNoFreeSlot
 }
 
-// Detach releases slot i. The slot's rings stay formatted (indices and
-// queued records intact), so a future peer can claim the slot again.
+// Detach releases slot i: one CAS from attached to detached preserving
+// the generation. The slot's rings stay formatted (indices and queued
+// records intact), so a future peer can claim the slot again. A slot
+// already marked dead is left alone — a reaper got there first and the
+// reclaimer owns the teardown; the late detach must not resurrect it.
 func (t *SegTable) Detach(i int) {
 	t.checkSlot(i)
-	t.seg.Atomic32(t.slotBase(i) + slotOffState).Store(SlotDetached)
+	state := t.seg.Atomic32(t.slotBase(i) + slotOffState)
+	for {
+		w := state.Load()
+		if w&slotStateMask != SlotAttached {
+			return
+		}
+		if state.CompareAndSwap(w, w&^slotStateMask|SlotDetached) {
+			return
+		}
+	}
+}
+
+// MarkDead transitions slot i from attached to dead — but only the
+// incarnation the caller observed: the CAS binds both state and attach
+// generation, so if the owner detached and somebody else claimed the
+// slot (possibly with the dead owner's recycled pid), the generation
+// moved and the marking fails. Returns whether the slot is now dead by
+// this call.
+func (t *SegTable) MarkDead(i int, gen uint32) bool {
+	t.checkSlot(i)
+	return t.seg.Atomic32(t.slotBase(i)+slotOffState).
+		CompareAndSwap(SlotAttached|gen<<slotGenShift, SlotDead|gen<<slotGenShift)
+}
+
+// FreeSlot releases a dead slot back to free once reclamation is done,
+// again bound to the generation MarkDead named. Returns whether the
+// release happened.
+func (t *SegTable) FreeSlot(i int, gen uint32) bool {
+	t.checkSlot(i)
+	return t.seg.Atomic32(t.slotBase(i)+slotOffState).
+		CompareAndSwap(SlotDead|gen<<slotGenShift, SlotFree|gen<<slotGenShift)
 }
 
 // SlotState returns slot i's current ownership state.
 func (t *SegTable) SlotState(i int) uint32 {
 	t.checkSlot(i)
-	return t.seg.Atomic32(t.slotBase(i) + slotOffState).Load()
+	return t.seg.Atomic32(t.slotBase(i)+slotOffState).Load() & slotStateMask
+}
+
+// SlotGen returns slot i's current attach generation — bumped by every
+// Claim, preserved across detach, death and reclamation.
+func (t *SegTable) SlotGen(i int) uint32 {
+	t.checkSlot(i)
+	return t.seg.Atomic32(t.slotBase(i)+slotOffState).Load() >> slotGenShift
+}
+
+// SlotStateGen reads state and generation from the one atomic word —
+// the consistent snapshot reapers base a MarkDead decision on.
+func (t *SegTable) SlotStateGen(i int) (state, gen uint32) {
+	t.checkSlot(i)
+	w := t.seg.Atomic32(t.slotBase(i) + slotOffState).Load()
+	return w & slotStateMask, w >> slotGenShift
 }
 
 // SlotPid returns the pid recorded by the slot's most recent Claim.
@@ -220,11 +311,8 @@ func (t *SegTable) SlotPid(i int) uint32 {
 	return t.seg.Atomic32(t.slotBase(i) + slotOffPid).Load()
 }
 
-// Attaches returns slot i's cumulative attach count.
-func (t *SegTable) Attaches(i int) uint32 {
-	t.checkSlot(i)
-	return t.seg.Atomic32(t.slotBase(i) + slotOffAttaches).Load()
-}
+// Attaches returns slot i's cumulative attach count (its generation).
+func (t *SegTable) Attaches(i int) uint32 { return t.SlotGen(i) }
 
 // DownRing attaches to slot i's parent→child descriptor ring.
 func (t *SegTable) DownRing(i int) (*shm.XRing, error) {
@@ -236,4 +324,20 @@ func (t *SegTable) DownRing(i int) (*shm.XRing, error) {
 func (t *SegTable) UpRing(i int) (*shm.XRing, error) {
 	t.checkSlot(i)
 	return shm.AttachRing(t.seg, int64(t.seg.Atomic64(t.slotBase(i)+slotOffUp).Load()))
+}
+
+// ReformatRings re-initialises both of slot i's rings in place —
+// indices zeroed, closed flag cleared, stale records unreachable. The
+// reclamation step that guarantees a slot's next claimant starts from
+// clean rings whatever its dead predecessor left queued. Only safe
+// while the slot is held dead (no live peer owns either ring end).
+func (t *SegTable) ReformatRings(i int) error {
+	t.checkSlot(i)
+	down := int64(t.seg.Atomic64(t.slotBase(i) + slotOffDown).Load())
+	up := int64(t.seg.Atomic64(t.slotBase(i) + slotOffUp).Load())
+	if _, err := shm.InitRing(t.seg, down, t.ringCap); err != nil {
+		return err
+	}
+	_, err := shm.InitRing(t.seg, up, t.ringCap)
+	return err
 }

@@ -84,6 +84,200 @@ func TestSegTableClaimDetach(t *testing.T) {
 	}
 }
 
+// TestSegTableDeadSlotGeneration is the pid-reuse story: a reaper that
+// observed incarnation G of a slot must not be able to kill incarnation
+// G+1, even when the OS recycled the dead owner's pid onto the new
+// claimant. The generation is packed into the state word, so MarkDead
+// with a stale generation is a failed CAS, not a misfire.
+func TestSegTableDeadSlotGeneration(t *testing.T) {
+	_, tab := tableSegment(t, 2, 8, 0)
+
+	gen1, err := tab.ClaimGen(0, 4321)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Owner dies without detaching; the old incarnation detaches...
+	// no — it vanishes. A new peer with the *recycled pid* grabs the
+	// slot only after a detach; while attached the claim is refused.
+	if err := tab.Claim(0, 4321); err == nil {
+		t.Fatal("claim of attached slot succeeded")
+	}
+
+	// The reaper marks incarnation gen1 dead.
+	if !tab.MarkDead(0, gen1) {
+		t.Fatal("MarkDead with current generation failed")
+	}
+	if s := tab.SlotState(0); s != SlotDead {
+		t.Fatalf("slot state %d after MarkDead", s)
+	}
+	// A second reaper (or a stale retry) cannot double-kill.
+	if tab.MarkDead(0, gen1) {
+		t.Fatal("MarkDead succeeded twice for one generation")
+	}
+	// Dead slots refuse claims until reclamation frees them.
+	if err := tab.Claim(0, 9); !errors.Is(err, ErrSlotDead) {
+		t.Fatalf("claim of dead slot: %v", err)
+	}
+	if i, err := tab.ClaimAny(9); err == nil && i == 0 {
+		t.Fatal("ClaimAny handed out a dead slot")
+	}
+
+	// Reclamation completes: rings reformatted, slot freed.
+	if err := tab.ReformatRings(0); err != nil {
+		t.Fatal(err)
+	}
+	if tab.FreeSlot(0, gen1+1) {
+		t.Fatal("FreeSlot with wrong generation succeeded")
+	}
+	if !tab.FreeSlot(0, gen1) {
+		t.Fatal("FreeSlot with matching generation failed")
+	}
+	if s := tab.SlotState(0); s != SlotFree {
+		t.Fatalf("slot state %d after FreeSlot", s)
+	}
+
+	// New peer — same recycled pid — claims the freed slot. The
+	// generation moved, so the old reaper's view is dead forever.
+	gen2, err := tab.ClaimGen(0, 4321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 != gen1+1 {
+		t.Fatalf("generation %d after reclaim-and-claim, want %d", gen2, gen1+1)
+	}
+	if tab.MarkDead(0, gen1) {
+		t.Fatal("stale-generation MarkDead killed the new incarnation")
+	}
+	if s := tab.SlotState(0); s != SlotAttached {
+		t.Fatalf("new incarnation state %d after stale MarkDead", s)
+	}
+	// A late Detach from a thread of the dead incarnation is also
+	// harmless once the state moved on: Detach only touches attached
+	// slots, and the reclaim path only ever transitions its own gen.
+	tab.Detach(0)
+	if tab.MarkDead(0, gen2) {
+		t.Fatal("MarkDead of detached slot succeeded")
+	}
+	if tab.Attaches(0) != 2 {
+		t.Fatalf("attach count %d, want 2", tab.Attaches(0))
+	}
+}
+
+// TestPeerDeathChurnRace is TestSegmentAttachChurnRace with violence: a
+// fraction of the children "crash" — abandon their slot mid-traffic
+// without detaching — and a reaper goroutine concurrently marks
+// abandoned incarnations dead, reformats their rings and frees the
+// slots while other children churn claims. Run under -race in CI.
+func TestPeerDeathChurnRace(t *testing.T) {
+	const (
+		nSlots  = 4
+		ringCap = 8
+		rounds  = 25
+	)
+	seg, err := shm.NewSegment(shm.AlignUp(SegTableBytes(nSlots, ringCap)) + 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	tab, err := InitSegTable(seg, 64, nSlots, ringCap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deaths are announced to the reaper as (slot, gen) pairs — the
+	// in-process stand-in for the pid probe deciding a peer is gone.
+	deaths := make(chan [2]uint32, nSlots*16)
+
+	stop := make(chan struct{})
+	var reaperWG sync.WaitGroup
+	reaperWG.Add(1)
+	go func() {
+		defer reaperWG.Done()
+		for {
+			select {
+			case d := <-deaths:
+				slot, gen := int(d[0]), d[1]
+				if !tab.MarkDead(slot, gen) {
+					continue // stale: the incarnation already moved on
+				}
+				if err := tab.ReformatRings(slot); err != nil {
+					t.Error(err)
+				}
+				if !tab.FreeSlot(slot, gen) {
+					t.Errorf("FreeSlot(%d, %d) failed on a slot we marked dead", slot, gen)
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var childWG sync.WaitGroup
+	for c := 0; c < nSlots*2; c++ {
+		childWG.Add(1)
+		go func(c int) {
+			defer childWG.Done()
+			peer, err := AttachSegTable(seg, 64, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				slot, err := peer.ClaimAny(uint32(c))
+				if err != nil {
+					time.Sleep(100 * time.Microsecond)
+					continue
+				}
+				gen := peer.SlotGen(slot)
+				up, err := peer.UpRing(slot)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Traffic, then either a clean detach or a "crash":
+				// walk away and let the reaper find the corpse.
+				up.TryPush(shm.Record{Off: int64(c*1000 + r), Tag: uint16(c)})
+				if (c+r)%3 == 0 {
+					deaths <- [2]uint32{uint32(slot), gen}
+				} else {
+					peer.Detach(slot)
+				}
+			}
+		}(c)
+	}
+
+	childWG.Wait()
+	// Drain any still-queued deaths, then stop the reaper.
+	for {
+		select {
+		case d := <-deaths:
+			slot, gen := int(d[0]), d[1]
+			if tab.MarkDead(slot, gen) {
+				if err := tab.ReformatRings(slot); err != nil {
+					t.Error(err)
+				}
+				tab.FreeSlot(slot, gen)
+			}
+		default:
+			close(stop)
+			reaperWG.Wait()
+			// Every slot must be reusable: nothing attached, nothing
+			// stuck dead.
+			for i := 0; i < nSlots; i++ {
+				if s := tab.SlotState(i); s == SlotAttached || s == SlotDead {
+					t.Fatalf("slot %d state %d after churn with deaths", i, s)
+				}
+				if err := tab.Claim(i, 1); err != nil {
+					t.Fatalf("slot %d not claimable after churn: %v", i, err)
+				}
+				tab.Detach(i)
+			}
+			return
+		}
+	}
+}
+
 // TestSegmentAttachChurnRace drives the full cross-process contention
 // pattern inside one address space (goroutine peers over a heap
 // segment, so the race detector can see every access): N children

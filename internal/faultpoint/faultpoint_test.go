@@ -1,0 +1,119 @@
+package faultpoint
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMain doubles the binary as a crash guinea pig: with
+// MPF_FAULTPOINT_CHILD set it arms from the environment and hammers
+// one point in a loop, so the parent test can assert the exact exit.
+func TestMain(m *testing.M) {
+	if os.Getenv("MPF_FAULTPOINT_CHILD") != "" {
+		if err := EnableFromEnv(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for i := 0; i < 100; i++ {
+			Hit("loop-point")
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func TestDisarmedIsInert(t *testing.T) {
+	Reset()
+	for i := 0; i < 1000; i++ {
+		Hit("never-armed")
+	}
+	if Hits("never-armed") != 0 {
+		t.Fatal("disarmed point counted hits")
+	}
+}
+
+func TestDelayAndCounts(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	EnableDelay("slow", 20*time.Millisecond)
+	start := time.Now()
+	Hit("slow")
+	Hit("slow")
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("two delayed hits took %v", d)
+	}
+	if Hits("slow") != 2 {
+		t.Fatalf("hit count %d, want 2", Hits("slow"))
+	}
+	// Unarmed names stay inert even while others are armed.
+	Hit("other")
+	if Hits("other") != 0 {
+		t.Fatal("unarmed point counted hits while registry armed")
+	}
+}
+
+func TestSpecParsing(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Set("a:crash@3, b:delay=1ms ,c:crash"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"x", "x:boom", "x:crash@0", "x:crash@", "x:delay=bogus", ":crash"} {
+		Reset()
+		if err := Set(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+	Reset()
+	if err := Set(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	EnableDelay("par", 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				Hit("par")
+			}
+		}()
+	}
+	wg.Wait()
+	if Hits("par") != 4000 {
+		t.Fatalf("hit count %d, want 4000", Hits("par"))
+	}
+}
+
+// TestCrashExitCode re-execs the test binary with an armed crash point
+// and asserts it dies with CrashExitCode on exactly the configured hit.
+func TestCrashExitCode(t *testing.T) {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"MPF_FAULTPOINT_CHILD=1",
+		EnvVar+"=loop-point:crash@40")
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("armed child exited cleanly (err=%v)", err)
+	}
+	if code := ee.ExitCode(); code != CrashExitCode {
+		t.Fatalf("armed child exited %d, want %d", code, CrashExitCode)
+	}
+
+	// And with no spec in the environment the same loop survives.
+	cmd = exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "MPF_FAULTPOINT_CHILD=1", EnvVar+"=")
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("disarmed child: %v", err)
+	}
+}

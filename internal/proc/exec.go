@@ -10,6 +10,15 @@ package proc
 // socketpair installed as ChildConnFd, and Wait joins them with a
 // deadline and a kill escalation — a child that wedges cannot hang CI.
 //
+// Crash tolerance rides on the same plumbing: every child's exit is
+// observed by a dedicated Wait goroutine and published through a done
+// channel, so a reaper (WatchDeaths) learns about a crash the moment
+// the kernel does, without stealing the join from ExecGroup.Wait.
+// Respawn replaces a dead child in place — same binary, same rank,
+// fresh socketpair — which is what the mpf supervisor builds restart
+// policies out of. Alive (kill(pid, 0)) covers peers the parent did
+// not spawn and therefore cannot Wait on.
+//
 // The exec machinery is portable Go (os/exec, net.FileConn); only the
 // segment that usually travels over the socket is Linux-gated. On
 // platforms without a shared segment backend an ExecGroup still works
@@ -20,6 +29,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"sync"
 	"time"
 )
 
@@ -29,19 +39,62 @@ const ChildConnFd = 3
 
 // Child is one spawned OS process and the parent's socket to it.
 type Child struct {
-	// Index is the child's rank in the group (0..N-1).
+	// Index is the child's rank in the group (0..N-1). A respawned
+	// replacement keeps its predecessor's rank.
 	Index int
 	// Cmd is the underlying process handle.
 	Cmd *exec.Cmd
 	// Conn is the parent's end of the handshake socket.
 	Conn *net.UnixConn
 
-	waitErr chan error
+	done chan struct{} // closed once Cmd.Wait returned
+	err  error         // Cmd.Wait's result; valid after done
+
+	connOnce sync.Once
+}
+
+// Done is closed once the child's process has been joined — the death
+// signal reapers select on.
+func (ch *Child) Done() <-chan struct{} { return ch.done }
+
+// Err returns the child's exit error (nil for clean exit). Only valid
+// after Done is closed.
+func (ch *Child) Err() error { return ch.err }
+
+// Exited reports whether the child has been joined.
+func (ch *Child) Exited() bool {
+	select {
+	case <-ch.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Pid returns the child's OS pid (0 if the process never started).
+func (ch *Child) Pid() int {
+	if ch.Cmd.Process == nil {
+		return 0
+	}
+	return ch.Cmd.Process.Pid
+}
+
+// CloseConn closes the parent's handshake socket to this child,
+// exactly once — safe to call from Wait, Kill and reapers
+// concurrently.
+func (ch *Child) CloseConn() {
+	ch.connOnce.Do(func() { ch.Conn.Close() })
 }
 
 // ExecGroup is a set of exec-spawned children sharing a parent.
 type ExecGroup struct {
+	mu       sync.Mutex
 	children []*Child
+
+	// Respawn needs the original spawn recipe.
+	bin  string
+	args []string
+	env  func(i int) []string
 }
 
 // socketpairConn builds a connected pair: a *net.UnixConn for the
@@ -73,40 +126,139 @@ func socketpairConn() (*net.UnixConn, *os.File, error) {
 // passed through too, so demo children can narrate. On any spawn
 // failure the already-started children are killed.
 func StartGroup(n int, bin string, args []string, extraEnv []string) (*ExecGroup, error) {
+	return StartGroupEnv(n, bin, args, func(int) []string { return extraEnv })
+}
+
+// StartGroupEnv is StartGroup with per-child environment: envFor(i) is
+// appended to child i's inherited environment. This is how a chaos
+// harness arms fault points in some children and not others.
+func StartGroupEnv(n int, bin string, args []string, envFor func(i int) []string) (*ExecGroup, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("proc: exec group size %d", n)
 	}
-	g := &ExecGroup{}
+	if envFor == nil {
+		envFor = func(int) []string { return nil }
+	}
+	g := &ExecGroup{bin: bin, args: args, env: envFor}
 	for i := 0; i < n; i++ {
-		conn, childF, err := socketpairConn()
+		ch, err := g.spawn(i, envFor(i))
 		if err != nil {
 			g.Kill()
 			return nil, err
 		}
-		cmd := exec.Command(bin, args...)
-		cmd.Env = append(append(os.Environ(), extraEnv...), fmt.Sprintf("MPF_PROC_INDEX=%d", i))
-		cmd.ExtraFiles = []*os.File{childF}
-		cmd.Stdout = os.Stdout
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			conn.Close()
-			childF.Close()
-			g.Kill()
-			return nil, fmt.Errorf("proc: spawning child %d: %w", i, err)
-		}
-		childF.Close() // child holds its own copy now
-		ch := &Child{Index: i, Cmd: cmd, Conn: conn, waitErr: make(chan error, 1)}
-		go func() { ch.waitErr <- cmd.Wait() }()
 		g.children = append(g.children, ch)
 	}
 	return g, nil
 }
 
-// N returns the group size.
-func (g *ExecGroup) N() int { return len(g.children) }
+// spawn starts one child at rank i with the given extra environment.
+func (g *ExecGroup) spawn(i int, extraEnv []string) (*Child, error) {
+	conn, childF, err := socketpairConn()
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(g.bin, g.args...)
+	cmd.Env = append(append(os.Environ(), extraEnv...), fmt.Sprintf("MPF_PROC_INDEX=%d", i))
+	cmd.ExtraFiles = []*os.File{childF}
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		conn.Close()
+		childF.Close()
+		return nil, fmt.Errorf("proc: spawning child %d: %w", i, err)
+	}
+	childF.Close() // child holds its own copy now
+	ch := &Child{Index: i, Cmd: cmd, Conn: conn, done: make(chan struct{})}
+	go func() {
+		ch.err = cmd.Wait()
+		close(ch.done)
+	}()
+	return ch, nil
+}
 
-// Child returns the i'th child.
-func (g *ExecGroup) Child(i int) *Child { return g.children[i] }
+// Respawn replaces child i — which must have exited — with a fresh
+// process of the same binary and rank, on a fresh socketpair, with
+// extraEnv overriding the group's per-child environment (nil keeps
+// it). Returns the new child.
+func (g *ExecGroup) Respawn(i int, extraEnv []string) (*Child, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if i < 0 || i >= len(g.children) {
+		return nil, fmt.Errorf("proc: respawn of child %d in group of %d", i, len(g.children))
+	}
+	old := g.children[i]
+	if !old.Exited() {
+		return nil, fmt.Errorf("proc: respawn of child %d which is still running (pid %d)", i, old.Pid())
+	}
+	old.CloseConn()
+	env := extraEnv
+	if env == nil {
+		env = g.env(i)
+	}
+	ch, err := g.spawn(i, env)
+	if err != nil {
+		return nil, err
+	}
+	g.children[i] = ch
+	return ch, nil
+}
+
+// N returns the group size.
+func (g *ExecGroup) N() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.children)
+}
+
+// Child returns the i'th child (the current incarnation, if respawned).
+func (g *ExecGroup) Child(i int) *Child {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.children[i]
+}
+
+// WatchDeaths starts a watcher that invokes fn once for every child
+// death it observes — including deaths of respawned replacements —
+// until the returned stop function is called. fn runs on the watcher
+// goroutine; it must not block for long.
+func (g *ExecGroup) WatchDeaths(fn func(*Child)) (stop func()) {
+	stopC := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seen := make(map[*Child]bool)
+		for {
+			// Snapshot the current incarnations, then wait for any
+			// unseen one to die. Polling the snapshot (rather than one
+			// goroutine per child) keeps respawn races simple: a
+			// replacement shows up in the next snapshot.
+			g.mu.Lock()
+			kids := append([]*Child(nil), g.children...)
+			g.mu.Unlock()
+			fired := false
+			for _, ch := range kids {
+				if !seen[ch] && ch.Exited() {
+					seen[ch] = true
+					fired = true
+					fn(ch)
+				}
+			}
+			if fired {
+				continue
+			}
+			select {
+			case <-stopC:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+	return func() {
+		close(stopC)
+		wg.Wait()
+	}
+}
 
 // ParentConn returns this process's end of the handshake socket when
 // running *as* a spawned child (the counterpart of StartGroup's
@@ -134,15 +286,22 @@ func ParentConn() (*net.UnixConn, int, error) {
 }
 
 // Wait joins every child, enforcing the deadline: children still
-// running when it expires are killed and reported as an error. The
+// running when it expires are killed — processes terminated AND their
+// handshake sockets closed, so a wedged child can neither run on nor
+// hold the handshake channel open past teardown — and reported as an
+// error. Each child's socket is also closed as it joins cleanly. The
 // first failing child (by index) determines the returned error.
 func (g *ExecGroup) Wait(timeout time.Duration) error {
 	deadline := time.After(timeout)
-	errs := make([]error, len(g.children))
-	for i, ch := range g.children {
+	g.mu.Lock()
+	kids := append([]*Child(nil), g.children...)
+	g.mu.Unlock()
+	errs := make([]error, len(kids))
+	for i, ch := range kids {
 		select {
-		case err := <-ch.waitErr:
-			errs[i] = err
+		case <-ch.done:
+			errs[i] = ch.err
+			ch.CloseConn()
 		case <-deadline:
 			g.Kill()
 			return fmt.Errorf("proc: child %d still running after %v (group killed)", i, timeout)
@@ -159,11 +318,14 @@ func (g *ExecGroup) Wait(timeout time.Duration) error {
 // Kill terminates every child that is still running and closes the
 // parent sockets.
 func (g *ExecGroup) Kill() {
-	for _, ch := range g.children {
+	g.mu.Lock()
+	kids := append([]*Child(nil), g.children...)
+	g.mu.Unlock()
+	for _, ch := range kids {
 		if ch.Cmd.Process != nil {
 			ch.Cmd.Process.Kill()
 		}
-		ch.Conn.Close()
+		ch.CloseConn()
 	}
 }
 
@@ -172,7 +334,10 @@ func (g *ExecGroup) Kill() {
 // job is done, and a child blocked reading it learns the parent is
 // gone.
 func (g *ExecGroup) CloseConns() {
-	for _, ch := range g.children {
-		ch.Conn.Close()
+	g.mu.Lock()
+	kids := append([]*Child(nil), g.children...)
+	g.mu.Unlock()
+	for _, ch := range kids {
+		ch.CloseConn()
 	}
 }

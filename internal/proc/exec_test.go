@@ -35,6 +35,8 @@ func TestMain(m *testing.M) {
 		os.Exit(0)
 	case "hang":
 		select {}
+	case "die":
+		os.Exit(7)
 	default:
 		os.Exit(3)
 	}
@@ -83,11 +85,81 @@ func TestExecGroupWaitTimeout(t *testing.T) {
 	if time.Since(start) > 5*time.Second {
 		t.Fatal("Wait did not enforce its deadline")
 	}
-	// The kill escalation must actually reap the child.
+	// The kill escalation must actually reap the child...
 	select {
-	case <-g.Child(0).waitErr:
+	case <-g.Child(0).Done():
 	case <-time.After(5 * time.Second):
 		t.Fatal("killed child never reaped")
+	}
+	// ...and close the handshake socket, so nothing can keep talking on
+	// the channel of a torn-down group.
+	if _, err := g.Child(0).Conn.Write([]byte("x")); err == nil {
+		t.Fatal("handshake socket still open after kill escalation")
+	}
+}
+
+// TestExecGroupDeathWatchAndRespawn exercises the crash-robustness
+// plumbing: a child that exits nonzero is observed by WatchDeaths, a
+// replacement is respawned into its rank, and the replacement works.
+func TestExecGroupDeathWatchAndRespawn(t *testing.T) {
+	g, err := StartGroupEnv(2, os.Args[0], nil, func(i int) []string {
+		if i == 0 {
+			return []string{"MPF_PROC_HELPER=die"}
+		}
+		return []string{"MPF_PROC_HELPER=echo"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deaths := make(chan *Child, 4)
+	stop := g.WatchDeaths(func(ch *Child) { deaths <- ch })
+	defer stop()
+
+	select {
+	case ch := <-deaths:
+		if ch.Index != 0 {
+			t.Fatalf("death of child %d, want 0", ch.Index)
+		}
+		if ch.Err() == nil {
+			t.Fatal("crashed child reported clean exit")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("death never observed")
+	}
+	if Alive(g.Child(1).Pid()) != true {
+		t.Fatal("live child probes dead")
+	}
+
+	// Respawn rank 0 as an echo child and run a round trip through it.
+	nc, err := g.Respawn(0, []string{"MPF_PROC_HELPER=echo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Child(0) != nc || nc.Index != 0 {
+		t.Fatal("respawned child not installed at its rank")
+	}
+	if _, err := nc.Conn.Write([]byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	nc.Conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	n, err := nc.Conn.Read(buf)
+	if err != nil || string(buf[:n]) != "child 0 got again" {
+		t.Fatalf("respawned round trip: %q, %v", buf[:n], err)
+	}
+	// Unblock the untouched echo child at rank 1 so the group joins.
+	if _, err := g.Child(1).Conn.Write([]byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	g.Child(1).Conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := g.Child(1).Conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if Alive(nc.Pid()) {
+		t.Fatal("joined child still probes alive")
 	}
 }
 

@@ -27,8 +27,10 @@ import (
 // whenever the frame layout or the in-segment structures it describes
 // change incompatibly. Version 2: NotifyWords widened to two cache
 // lines (NotifyBytes 8 → 128), moving the ring's space word and the
-// record base.
-const HandshakeVersion = 2
+// record base. Version 3: the table's slot state word packs the attach
+// generation (table version 2) and ring-record tags carry a generation
+// byte, so a stale binary would misread both — fail at the frame.
+const HandshakeVersion = 3
 
 // HandshakeBytes is the fixed wire size of an encoded handshake.
 const HandshakeBytes = 56
@@ -38,6 +40,16 @@ const handshakeMagic = 0x3146504D // "MPF1"
 // ErrHandshakeVersion is returned when the peer speaks a different
 // attach-protocol version (or is not MPF at all).
 var ErrHandshakeVersion = errors.New("shm: attach handshake version mismatch")
+
+// ErrHandshakeTimeout is returned when the handshake frame does not
+// arrive within the receive deadline — the classic symptom of a parent
+// that died between spawning the child and sending the segment.
+var ErrHandshakeTimeout = errors.New("shm: attach handshake timed out")
+
+// ErrPeerDead is returned by deadline- or abort-bounded cross-process
+// waits when the other side of the segment has been declared dead
+// (process gone, slot reaped) rather than merely slow.
+var ErrPeerDead = errors.New("shm: segment peer is dead")
 
 // Handshake flag bits.
 const (

@@ -11,10 +11,13 @@ package shm
 // further communication happens through segment words and futexes.
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"syscall"
+	"time"
 )
 
 // SendSegment writes the handshake frame over conn with the segment's
@@ -37,15 +40,47 @@ func SendSegment(conn *net.UnixConn, seg *Segment, h Handshake) error {
 	return nil
 }
 
+// recvSegmentDefaultTimeout bounds RecvSegment: a child whose parent
+// died before sending the frame must fail, not hang on the socket for
+// the rest of its life.
+const recvSegmentDefaultTimeout = 30 * time.Second
+
 // RecvSegment receives a handshake frame and its accompanying segment
 // fd, maps the segment, and cross-checks the mapped size against the
-// frame. The returned segment owns the received descriptor.
+// frame. The returned segment owns the received descriptor. The wait
+// is bounded by a default deadline; use RecvSegmentTimeout to choose
+// one.
 func RecvSegment(conn *net.UnixConn) (*Segment, Handshake, error) {
+	return RecvSegmentTimeout(conn, recvSegmentDefaultTimeout)
+}
+
+// RecvSegmentTimeout is RecvSegment with an explicit bound on how long
+// to wait for the frame. Expiry (or a peer that closed the socket
+// without sending — a parent that crashed between fork and send)
+// returns ErrHandshakeTimeout. timeout <= 0 waits forever.
+func RecvSegmentTimeout(conn *net.UnixConn, timeout time.Duration) (*Segment, Handshake, error) {
+	if timeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, Handshake{}, fmt.Errorf("shm: arming handshake deadline: %w", err)
+		}
+		defer conn.SetReadDeadline(time.Time{})
+	}
 	buf := make([]byte, HandshakeBytes)
 	oob := make([]byte, syscall.CmsgSpace(4))
 	n, oobn, _, _, err := conn.ReadMsgUnix(buf, oob)
 	if err != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			return nil, Handshake{}, fmt.Errorf("shm: no handshake frame within %v: %w", timeout, ErrHandshakeTimeout)
+		}
+		if errors.Is(err, io.EOF) {
+			// The parent's end closed before sending: it died between
+			// spawning this child and serving the segment.
+			return nil, Handshake{}, fmt.Errorf("shm: handshake socket closed before frame: %w", ErrHandshakeTimeout)
+		}
 		return nil, Handshake{}, fmt.Errorf("shm: receiving segment handshake: %w", err)
+	}
+	if n == 0 && oobn == 0 {
+		return nil, Handshake{}, fmt.Errorf("shm: handshake socket closed before frame: %w", ErrHandshakeTimeout)
 	}
 	h, err := DecodeHandshake(buf[:n])
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"syscall"
 	"testing"
+	"time"
 )
 
 func unixPair(t *testing.T) (*net.UnixConn, *net.UnixConn) {
@@ -93,5 +94,21 @@ func TestSendSegmentRejectsHeap(t *testing.T) {
 	defer seg.Close()
 	if err := SendSegment(parent, seg, Handshake{}); !errors.Is(err, ErrNoSharedBackend) {
 		t.Fatalf("heap segment send: %v, want ErrNoSharedBackend", err)
+	}
+}
+
+// TestRecvSegmentTimeout covers the orphaned-child scenarios: no frame
+// within the deadline, and a parent that closed its end (died) before
+// sending anything. Both must surface ErrHandshakeTimeout, not hang.
+func TestRecvSegmentTimeout(t *testing.T) {
+	_, child := unixPair(t)
+	if _, _, err := RecvSegmentTimeout(child, 30*time.Millisecond); !errors.Is(err, ErrHandshakeTimeout) {
+		t.Fatalf("silent parent: %v, want ErrHandshakeTimeout", err)
+	}
+
+	parent2, child2 := unixPair(t)
+	parent2.Close()
+	if _, _, err := RecvSegmentTimeout(child2, time.Second); !errors.Is(err, ErrHandshakeTimeout) {
+		t.Fatalf("dead parent: %v, want ErrHandshakeTimeout", err)
 	}
 }

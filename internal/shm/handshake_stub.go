@@ -6,7 +6,10 @@ package shm
 // encodes and decodes fine (DecodeHandshake is portable) but there is
 // no segment to pass.
 
-import "net"
+import (
+	"net"
+	"time"
+)
 
 // SendSegment is unavailable off Linux.
 func SendSegment(conn *net.UnixConn, seg *Segment, h Handshake) error {
@@ -15,5 +18,10 @@ func SendSegment(conn *net.UnixConn, seg *Segment, h Handshake) error {
 
 // RecvSegment is unavailable off Linux.
 func RecvSegment(conn *net.UnixConn) (*Segment, Handshake, error) {
+	return nil, Handshake{}, ErrNoSharedBackend
+}
+
+// RecvSegmentTimeout is unavailable off Linux.
+func RecvSegmentTimeout(conn *net.UnixConn, timeout time.Duration) (*Segment, Handshake, error) {
 	return nil, Handshake{}, ErrNoSharedBackend
 }

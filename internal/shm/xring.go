@@ -280,6 +280,77 @@ func (r *XRing) Pop(deadline time.Time) (Record, error) {
 	}
 }
 
+// abortProbeSlice bounds each futex park inside an abortable wait so
+// the abort callback is consulted at least this often. 10ms keeps the
+// liveness check off the hot path (a posted word returns immediately;
+// the slice only matters while genuinely blocked on a silent peer).
+const abortProbeSlice = 10 * time.Millisecond
+
+// PopAbort is Pop with a liveness hook: while blocked on an empty
+// ring, abort is probed at least every abortProbeSlice; a non-nil
+// return (typically ErrPeerDead) ends the wait with that error. The
+// probe only runs on the slow path — a non-empty ring never calls it.
+func (r *XRing) PopAbort(deadline time.Time, abort func() error) (Record, error) {
+	for {
+		rec, ok, err := r.TryPop()
+		if err != nil {
+			return Record{}, err
+		}
+		if ok {
+			return rec, nil
+		}
+		seen := r.data.Load()
+		if rec, ok, err := r.TryPop(); err != nil || ok {
+			return rec, err
+		}
+		if err := abort(); err != nil {
+			return Record{}, err
+		}
+		if _, ok := r.data.Wait(seen, r.probeDeadline(deadline)); !ok {
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				return Record{}, ErrRingTimeout
+			}
+		}
+	}
+}
+
+// PushAbort is Push with the same liveness hook as PopAbort: a
+// producer blocked on a full ring whose consumer died stops waiting as
+// soon as the abort callback says so.
+func (r *XRing) PushAbort(rec Record, deadline time.Time, abort func() error) error {
+	for {
+		ok, err := r.TryPush(rec)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		seen := r.spc.Load()
+		if ok, err := r.TryPush(rec); err != nil || ok {
+			return err
+		}
+		if err := abort(); err != nil {
+			return err
+		}
+		if _, ok := r.spc.Wait(seen, r.probeDeadline(deadline)); !ok {
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				return ErrRingTimeout
+			}
+		}
+	}
+}
+
+// probeDeadline slices an overall deadline into abort-probe-sized
+// parks: the nearer of now+abortProbeSlice and the real deadline.
+func (r *XRing) probeDeadline(deadline time.Time) time.Time {
+	slice := time.Now().Add(abortProbeSlice)
+	if deadline.IsZero() || slice.Before(deadline) {
+		return slice
+	}
+	return deadline
+}
+
 // WaitStats returns the waiter counters of this handle's two notify
 // words: data is what the consumer slept/spun on, space the
 // producer's. The cross-process ablation derives its busy-spin

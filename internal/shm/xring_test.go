@@ -173,3 +173,42 @@ func TestNotifyDeadline(t *testing.T) {
 		t.Fatalf("deadline wait returned after %v", elapsed)
 	}
 }
+
+func TestRingAbortableWaits(t *testing.T) {
+	prod, cons := ringPair(t, 2)
+
+	// Fast path: data ready, abort never consulted.
+	prod.TryPush(Record{Off: 7})
+	rec, err := cons.PopAbort(time.Time{}, func() error {
+		t.Error("abort probed with data ready")
+		return nil
+	})
+	if err != nil || rec.Off != 7 {
+		t.Fatalf("PopAbort with data: %+v, %v", rec, err)
+	}
+
+	// Slow path: empty ring, dead peer — the probe ends the wait well
+	// before any deadline would.
+	dead := errors.New("peer dead")
+	start := time.Now()
+	if _, err := cons.PopAbort(time.Now().Add(10*time.Second), func() error { return dead }); !errors.Is(err, dead) {
+		t.Fatalf("PopAbort with dead peer: %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("abort took %v", time.Since(start))
+	}
+
+	// Producer side: full ring, dead consumer.
+	prod.TryPush(Record{Off: 1})
+	prod.TryPush(Record{Off: 2})
+	if err := prod.PushAbort(Record{Off: 3}, time.Now().Add(10*time.Second), func() error { return dead }); !errors.Is(err, dead) {
+		t.Fatalf("PushAbort with dead peer: %v", err)
+	}
+
+	// A live-but-silent peer still hits the real deadline.
+	cons.TryPop()
+	cons.TryPop()
+	if _, err := cons.PopAbort(time.Now().Add(30*time.Millisecond), func() error { return nil }); !errors.Is(err, ErrRingTimeout) {
+		t.Fatalf("PopAbort deadline: %v", err)
+	}
+}

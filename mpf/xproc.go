@@ -25,21 +25,36 @@ package mpf
 //
 // Both directions move every payload byte through the circuit exactly
 // once with zero copies on either side of the boundary.
+//
+// Crash robustness (DESIGN.md §17): every ring record's Tag carries
+// the slot's attach generation in its high byte, so records from a
+// dead incarnation are recognisably stale and are discarded instead of
+// corrupting the next claimant's protocol. Bridge ring waits carry an
+// abort probe against the slot's state word (a reaped peer surfaces as
+// ErrPeerDead, not a 30-second hang), and the child's worker loop
+// aborts when its parent process disappears. The reaper/reclaimer
+// lives in reclaim.go; the fault points threaded through the child
+// path (child-attach, child-claim, child-ack, child-fill) are what the
+// chaos harness arms to kill children at exact protocol steps.
 
 import (
 	"errors"
 	"fmt"
 	"net"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/affinity"
 	"repro/internal/core"
+	"repro/internal/faultpoint"
 	"repro/internal/proc"
 	"repro/internal/shm"
 )
 
-// Ring record tags of the bridge/worker protocol.
+// Ring record kinds of the bridge/worker protocol, carried in the low
+// byte of a record's Tag (the high byte is the attach generation —
+// see xtag).
 const (
 	// XTagView announces a committed message's payload window to the
 	// child (down direction); Word is the payload checksum.
@@ -57,9 +72,32 @@ const (
 	XTagDone uint16 = 5
 )
 
+// xtag stamps a record kind with the slot's attach generation (low 8
+// bits of the generation in the Tag's high byte). A record pushed by
+// incarnation G and popped by incarnation G' ≠ G fails the generation
+// check and is discarded — the defense that makes ring reuse after a
+// peer death safe even if a stale producer got one last push in.
+func xtag(kind uint16, gen uint32) uint16 { return kind&0xFF | uint16(gen&0xFF)<<8 }
+
+// xtagKind extracts the record kind from a tag.
+func xtagKind(tag uint16) uint16 { return tag & 0xFF }
+
+// xtagGen extracts the generation byte from a tag.
+func xtagGen(tag uint16) uint8 { return uint8(tag >> 8) }
+
 // ErrNoSharedBackend re-exports the shm gate so callers can probe for
 // cross-process support without importing internal packages.
 var ErrNoSharedBackend = shm.ErrNoSharedBackend
+
+// ErrPeerDead re-exports the shm sentinel: a cross-process operation
+// was aborted because the peer on the other side of the segment has
+// been declared dead (process gone or slot reaped).
+var ErrPeerDead = shm.ErrPeerDead
+
+// ErrHandshakeTimeout re-exports the shm sentinel: the attach
+// handshake frame never arrived — the parent died before serving the
+// segment, or never intended to.
+var ErrHandshakeTimeout = shm.ErrHandshakeTimeout
 
 // xprocDeadline bounds every blocking ring operation of the bridge and
 // worker loops so a dead peer surfaces as an error, not a hang.
@@ -89,11 +127,28 @@ type ProcServer struct {
 	bridges  []bridgeState
 }
 
+// bridgeState is one slot's server-side bridge: the facility
+// connections, ring handles and the attach generation they were bound
+// to. The mutex serialises lazy open (bridge) against teardown
+// (ReclaimSlot); the traffic loops work on value snapshots
+// (bridgeConn) so a concurrent reclaim can reset the state without
+// racing them.
 type bridgeState struct {
+	mu   sync.Mutex
 	send *SendConn
 	recv *RecvConn
 	down *shm.XRing
 	up   *shm.XRing
+	gen  uint32
+}
+
+// bridgeConn is the immutable per-use snapshot of a bridge.
+type bridgeConn struct {
+	send *SendConn
+	recv *RecvConn
+	down *shm.XRing
+	up   *shm.XRing
+	gen  uint32
 }
 
 // ServeProc creates a memfd-backed facility ready for child processes:
@@ -188,10 +243,17 @@ func (s *ProcServer) SendSegmentTo(conn *net.UnixConn, slot int) error {
 // child process is pinned to its own CPU core (slot modulo the CPU
 // count) best-effort: restricted runners leave children floating.
 func (s *ProcServer) Spawn(n int, bin string, args []string, extraEnv []string) (*proc.ExecGroup, error) {
+	return s.SpawnEnv(n, bin, args, func(int) []string { return extraEnv })
+}
+
+// SpawnEnv is Spawn with a per-child environment — the chaos harness
+// arms crash fault points (faultpoint.EnvVar) in its victim children
+// and not the survivors.
+func (s *ProcServer) SpawnEnv(n int, bin string, args []string, envFor func(i int) []string) (*proc.ExecGroup, error) {
 	if n > s.table.NSlots() {
 		return nil, fmt.Errorf("mpf: spawning %d children for %d slots", n, s.table.NSlots())
 	}
-	g, err := proc.StartGroup(n, bin, args, extraEnv)
+	g, err := proc.StartGroupEnv(n, bin, args, envFor)
 	if err != nil {
 		return nil, err
 	}
@@ -212,33 +274,93 @@ func (s *ProcServer) Spawn(n int, bin string, args []string, extraEnv []string) 
 	return g, nil
 }
 
-// bridge lazily opens slot i's facility connections and ring handles.
-// Bridge pid i+1 holds both ends of circuit "xproc-i": the loop-back
-// shape means every payload crosses the circuit queue exactly once in
-// each phase.
-func (s *ProcServer) bridge(slot int) (*bridgeState, error) {
+// bridge lazily opens slot i's facility connections and ring handles,
+// first waiting (bounded) for a peer to claim the slot so the bridge
+// binds to a definite attach generation. Bridge pid i+1 holds both
+// ends of circuit "xproc-i": the loop-back shape means every payload
+// crosses the circuit queue exactly once in each phase.
+func (s *ProcServer) bridge(slot int) (bridgeConn, error) {
 	b := &s.bridges[slot]
+	b.mu.Lock()
 	if b.send != nil {
-		return b, nil
+		c := bridgeConn{send: b.send, recv: b.recv, down: b.down, up: b.up, gen: b.gen}
+		b.mu.Unlock()
+		return c, nil
+	}
+	b.mu.Unlock()
+
+	// Wait for the peer to claim the slot: the generation the bridge
+	// captures must be the incarnation it will talk to, not a guess
+	// made before the child arrived.
+	gen, err := s.waitClaim(slot, xprocDeadline)
+	if err != nil {
+		return bridgeConn{}, err
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.send != nil { // raced with another opener
+		return bridgeConn{send: b.send, recv: b.recv, down: b.down, up: b.up, gen: b.gen}, nil
 	}
 	p, err := s.fac.Process(slot + 1)
 	if err != nil {
-		return nil, err
+		return bridgeConn{}, err
 	}
 	name := fmt.Sprintf("xproc-%d", slot)
-	if b.send, err = p.OpenSend(name); err != nil {
-		return nil, err
+	send, err := p.OpenSend(name)
+	if err != nil {
+		return bridgeConn{}, err
 	}
-	if b.recv, err = p.OpenReceive(name, FCFS); err != nil {
-		return nil, err
+	recv, err := p.OpenReceive(name, FCFS)
+	if err != nil {
+		send.Close()
+		return bridgeConn{}, err
 	}
-	if b.down, err = s.table.DownRing(slot); err != nil {
-		return nil, err
+	down, err := s.table.DownRing(slot)
+	if err == nil {
+		b.up, err = s.table.UpRing(slot)
 	}
-	if b.up, err = s.table.UpRing(slot); err != nil {
-		return nil, err
+	if err != nil {
+		send.Close()
+		recv.Close()
+		return bridgeConn{}, err
 	}
-	return b, nil
+	b.send, b.recv, b.down, b.gen = send, recv, down, gen
+	return bridgeConn{send: b.send, recv: b.recv, down: b.down, up: b.up, gen: b.gen}, nil
+}
+
+// waitClaim polls slot until a peer holds it attached, returning the
+// attach generation. ErrPeerDead reports a slot that went dead while
+// waiting; ErrTimeout-shaped failure reports nobody ever came.
+func (s *ProcServer) waitClaim(slot int, timeout time.Duration) (uint32, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, gen := s.table.SlotStateGen(slot)
+		switch st {
+		case core.SlotAttached:
+			return gen, nil
+		case core.SlotDead:
+			return 0, fmt.Errorf("mpf: slot %d: %w", slot, ErrPeerDead)
+		}
+		if !time.Now().Before(deadline) {
+			return 0, fmt.Errorf("mpf: slot %d never claimed within %v", slot, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// slotAbort builds the liveness probe for ring waits bound to one
+// incarnation: the moment the slot leaves the attached state or moves
+// to another generation, blocked bridge operations fail with
+// ErrPeerDead instead of waiting out their full deadline.
+func (s *ProcServer) slotAbort(slot int, gen uint32) func() error {
+	return func() error {
+		st, g := s.table.SlotStateGen(slot)
+		if st != core.SlotAttached || g != gen {
+			return fmt.Errorf("mpf: slot %d gen %d: %w", slot, gen, ErrPeerDead)
+		}
+		return nil
+	}
 }
 
 // xsum is the protocol's payload checksum: cheap, order-sensitive, and
@@ -278,6 +400,38 @@ func contiguousLoan(sc *SendConn, n int) (*Loan, []byte, error) {
 	return ln, buf, nil
 }
 
+// deadErr folds teardown-shaped failures onto ErrPeerDead when the
+// abort probe confirms the incarnation is gone. A reclaim racing a
+// bridge op can surface as ErrRingClosed (the reclaim closed the ring
+// first) or as a closed-connection error (the reclaim closed the
+// circuit first) depending on the interleaving; callers retrying after
+// a respawn need one error to key on, not three.
+func deadErr(err error, abort func() error) error {
+	if err == nil {
+		return nil
+	}
+	if aerr := abort(); aerr != nil {
+		return aerr
+	}
+	return err
+}
+
+// popFor pops from the ring until a record of this bridge's generation
+// arrives, discarding stale-generation leftovers from reclaimed
+// incarnations (defense in depth: reclamation reformats the rings, so
+// stale records require a zombie producer racing the reclaim).
+func (b bridgeConn) popFor(r *shm.XRing, abort func() error) (shm.Record, error) {
+	for {
+		rec, err := r.PopAbort(time.Now().Add(xprocDeadline), abort)
+		if err != nil {
+			return shm.Record{}, err
+		}
+		if xtagGen(rec.Tag) == uint8(b.gen) {
+			return rec, nil
+		}
+	}
+}
+
 // BridgeDown runs the down phase for one slot: msgs messages of size
 // bytes each, committed through the circuit, exported to the child as
 // VIEW records, acknowledged, released. Returns the number of payload
@@ -287,20 +441,21 @@ func (s *ProcServer) BridgeDown(slot, msgs, size int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	abort := s.slotAbort(slot, b.gen)
 	done := 0
 	for seq := 0; seq < msgs; seq++ {
 		ln, buf, err := contiguousLoan(b.send, size)
 		if err != nil {
-			return done, err
+			return done, deadErr(err, abort)
 		}
 		fillPattern(buf, slot, seq)
 		sum := xsum(buf)
 		if err := ln.Commit(); err != nil {
-			return done, err
+			return done, deadErr(err, abort)
 		}
 		v, err := b.recv.ReceiveViewDeadline(xprocDeadline)
 		if err != nil {
-			return done, err
+			return done, deadErr(err, abort)
 		}
 		pay, ok := v.Bytes()
 		if !ok {
@@ -312,19 +467,19 @@ func (s *ProcServer) BridgeDown(slot, msgs, size int) (int, error) {
 			v.Release()
 			return done, errors.New("mpf: view payload does not alias the shared segment")
 		}
-		rec := shm.Record{Off: off, Len: int32(len(pay)), Tag: XTagView, Word: sum}
-		if err := b.down.Push(rec, time.Now().Add(xprocDeadline)); err != nil {
+		rec := shm.Record{Off: off, Len: int32(len(pay)), Tag: xtag(XTagView, b.gen), Word: sum}
+		if err := b.down.PushAbort(rec, time.Now().Add(xprocDeadline), abort); err != nil {
 			v.Release()
-			return done, err
+			return done, deadErr(err, abort)
 		}
-		ack, err := b.up.Pop(time.Now().Add(xprocDeadline))
+		ack, err := b.popFor(b.up, abort)
 		v.Release()
 		if err != nil {
-			return done, err
+			return done, deadErr(err, abort)
 		}
-		if ack.Tag != XTagAck || ack.Word != sum {
+		if xtagKind(ack.Tag) != XTagAck || ack.Word != sum {
 			return done, fmt.Errorf("mpf: slot %d seq %d: child acked tag %d sum %#x, want tag %d sum %#x",
-				slot, seq, ack.Tag, ack.Word, XTagAck, sum)
+				slot, seq, xtagKind(ack.Tag), ack.Word, XTagAck, sum)
 		}
 		done++
 	}
@@ -340,37 +495,38 @@ func (s *ProcServer) BridgeUp(slot, msgs, size int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	abort := s.slotAbort(slot, b.gen)
 	done := 0
 	for seq := 0; seq < msgs; seq++ {
 		ln, buf, err := contiguousLoan(b.send, size)
 		if err != nil {
-			return done, err
+			return done, deadErr(err, abort)
 		}
 		off, ok := s.seg.OffsetOf(buf)
 		if !ok {
 			ln.Abort()
 			return done, errors.New("mpf: loan payload does not alias the shared segment")
 		}
-		rec := shm.Record{Off: off, Len: int32(len(buf)), Tag: XTagLoan, Word: uint16(seq)}
-		if err := b.down.Push(rec, time.Now().Add(xprocDeadline)); err != nil {
+		rec := shm.Record{Off: off, Len: int32(len(buf)), Tag: xtag(XTagLoan, b.gen), Word: uint16(seq)}
+		if err := b.down.PushAbort(rec, time.Now().Add(xprocDeadline), abort); err != nil {
 			ln.Abort()
-			return done, err
+			return done, deadErr(err, abort)
 		}
-		filled, err := b.up.Pop(time.Now().Add(xprocDeadline))
+		filled, err := b.popFor(b.up, abort)
 		if err != nil {
 			ln.Abort()
-			return done, err
+			return done, deadErr(err, abort)
 		}
-		if filled.Tag != XTagFilled {
+		if xtagKind(filled.Tag) != XTagFilled {
 			ln.Abort()
-			return done, fmt.Errorf("mpf: slot %d seq %d: child sent tag %d, want FILLED", slot, seq, filled.Tag)
+			return done, fmt.Errorf("mpf: slot %d seq %d: child sent tag %d, want FILLED", slot, seq, xtagKind(filled.Tag))
 		}
 		if err := ln.Commit(); err != nil {
-			return done, err
+			return done, deadErr(err, abort)
 		}
 		v, err := b.recv.ReceiveViewDeadline(xprocDeadline)
 		if err != nil {
-			return done, err
+			return done, deadErr(err, abort)
 		}
 		pay, _ := v.Bytes()
 		sum := xsum(pay)
@@ -397,13 +553,16 @@ func (s *ProcServer) RingWaitStats() shm.WaitStats {
 	}
 	for i := range s.bridges {
 		b := &s.bridges[i]
-		if b.down != nil {
-			data, space := b.down.WaitStats()
+		b.mu.Lock()
+		down, up := b.down, b.up
+		b.mu.Unlock()
+		if down != nil {
+			data, space := down.WaitStats()
 			add(data)
 			add(space)
 		}
-		if b.up != nil {
-			data, space := b.up.WaitStats()
+		if up != nil {
+			data, space := up.WaitStats()
 			add(data)
 			add(space)
 		}
@@ -417,7 +576,9 @@ func (s *ProcServer) FinishSlot(slot int) error {
 	if err != nil {
 		return err
 	}
-	return b.down.Push(shm.Record{Tag: XTagDone}, time.Now().Add(xprocDeadline))
+	abort := s.slotAbort(slot, b.gen)
+	return deadErr(b.down.PushAbort(shm.Record{Tag: xtag(XTagDone, b.gen)},
+		time.Now().Add(xprocDeadline), abort), abort)
 }
 
 // Close shuts the facility down and unmaps the segment. The returned
@@ -437,14 +598,21 @@ type ProcClient struct {
 	table  *core.SegTable
 	h      shm.Handshake
 	slot   int
+	gen    uint32
+	ppid   int
 	down   *shm.XRing
 	up     *shm.XRing
 	served int
 }
 
 // AttachProc attaches via the socket inherited from proc.StartGroup
-// (fd 3) — the one-call child side of ServeProc+Spawn.
+// (fd 3) — the one-call child side of ServeProc+Spawn. Fault points
+// (chaos testing) are armed from the environment first, so a spawned
+// worker binary needs no extra wiring to participate in crash drills.
 func AttachProc() (*ProcClient, error) {
+	if err := faultpoint.EnableFromEnv(); err != nil {
+		return nil, err
+	}
 	conn, _, err := proc.ParentConn()
 	if err != nil {
 		return nil, err
@@ -454,23 +622,27 @@ func AttachProc() (*ProcClient, error) {
 }
 
 // AttachProcConn attaches over an explicit unix socket: receive the
-// segment fd and handshake, map the segment, verify the table
+// segment fd and handshake (deadline-bounded — a dead parent surfaces
+// as ErrHandshakeTimeout), map the segment, verify the table
 // generation, claim the assigned slot, open the rings.
 func AttachProcConn(conn *net.UnixConn) (*ProcClient, error) {
 	seg, h, err := shm.RecvSegment(conn)
 	if err != nil {
 		return nil, err
 	}
+	faultpoint.Hit("child-attach")
 	table, err := core.AttachSegTable(seg, h.TableOff, h.Generation)
 	if err != nil {
 		seg.Close()
 		return nil, err
 	}
-	if err := table.Claim(int(h.Slot), uint32(os.Getpid())); err != nil {
+	gen, err := table.ClaimGen(int(h.Slot), uint32(os.Getpid()))
+	if err != nil {
 		seg.Close()
 		return nil, err
 	}
-	c := &ProcClient{seg: seg, table: table, h: h, slot: int(h.Slot)}
+	faultpoint.Hit("child-claim")
+	c := &ProcClient{seg: seg, table: table, h: h, slot: int(h.Slot), gen: gen, ppid: os.Getppid()}
 	if c.down, err = table.DownRing(c.slot); err == nil {
 		c.up, err = table.UpRing(c.slot)
 	}
@@ -485,11 +657,29 @@ func AttachProcConn(conn *net.UnixConn) (*ProcClient, error) {
 // Slot returns the claimed table slot.
 func (c *ProcClient) Slot() int { return c.slot }
 
+// Gen returns the attach generation this client claimed the slot with.
+func (c *ProcClient) Gen() uint32 { return c.gen }
+
 // Handshake returns the attach frame the parent sent.
 func (c *ProcClient) Handshake() shm.Handshake { return c.h }
 
 // Served returns the number of payload records processed by Serve.
 func (c *ProcClient) Served() int { return c.served }
+
+// abort is the child-side liveness probe: the worker stops waiting the
+// moment its parent process dies (getppid changes as init adopts the
+// orphan) or its slot is no longer this incarnation's (a reaper
+// mistakenly — or a chaos test deliberately — reclaimed it).
+func (c *ProcClient) abort() error {
+	if os.Getppid() != c.ppid {
+		return fmt.Errorf("mpf: slot %d worker orphaned: %w", c.slot, ErrPeerDead)
+	}
+	st, g := c.table.SlotStateGen(c.slot)
+	if st != core.SlotAttached || g != c.gen {
+		return fmt.Errorf("mpf: slot %d reclaimed under worker: %w", c.slot, ErrPeerDead)
+	}
+	return nil
+}
 
 // payload resolves a ring record against this process's mapping,
 // bounds-checking it against the arena region the handshake described
@@ -505,16 +695,20 @@ func (c *ProcClient) payload(rec shm.Record) ([]byte, error) {
 
 // Serve runs the worker loop: VIEW records are verified in place and
 // acknowledged, LOAN records filled in place, until a DONE record
-// arrives. It returns after detaching the slot; the caller still owns
-// Close.
+// arrives. Records tagged with a different attach generation are
+// discarded (stale leftovers of a dead predecessor). It returns after
+// detaching the slot; the caller still owns Close.
 func (c *ProcClient) Serve() error {
 	defer c.table.Detach(c.slot)
 	for {
-		rec, err := c.down.Pop(time.Now().Add(xprocDeadline))
+		rec, err := c.down.PopAbort(time.Now().Add(xprocDeadline), c.abort)
 		if err != nil {
 			return fmt.Errorf("mpf: slot %d worker: %w", c.slot, err)
 		}
-		switch rec.Tag {
+		if xtagGen(rec.Tag) != uint8(c.gen) {
+			continue
+		}
+		switch xtagKind(rec.Tag) {
 		case XTagDone:
 			return nil
 		case XTagView:
@@ -526,7 +720,9 @@ func (c *ProcClient) Serve() error {
 				return fmt.Errorf("mpf: slot %d: payload at %d sums %#x, parent said %#x",
 					c.slot, rec.Off, sum, rec.Word)
 			}
-			if err := c.up.Push(shm.Record{Tag: XTagAck, Word: rec.Word}, time.Now().Add(xprocDeadline)); err != nil {
+			faultpoint.Hit("child-ack")
+			ack := shm.Record{Tag: xtag(XTagAck, c.gen), Word: rec.Word}
+			if err := c.up.PushAbort(ack, time.Now().Add(xprocDeadline), c.abort); err != nil {
 				return err
 			}
 			c.served++
@@ -535,13 +731,15 @@ func (c *ProcClient) Serve() error {
 			if err != nil {
 				return err
 			}
+			faultpoint.Hit("child-fill")
 			fillPattern(pay, c.slot, int(rec.Word)|1<<20) // distinct from down-phase patterns
-			if err := c.up.Push(shm.Record{Tag: XTagFilled, Word: xsum(pay)}, time.Now().Add(xprocDeadline)); err != nil {
+			filled := shm.Record{Tag: xtag(XTagFilled, c.gen), Word: xsum(pay)}
+			if err := c.up.PushAbort(filled, time.Now().Add(xprocDeadline), c.abort); err != nil {
 				return err
 			}
 			c.served++
 		default:
-			return fmt.Errorf("mpf: slot %d: unknown record tag %d", c.slot, rec.Tag)
+			return fmt.Errorf("mpf: slot %d: unknown record tag %d", c.slot, xtagKind(rec.Tag))
 		}
 	}
 }
